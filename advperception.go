@@ -1,0 +1,158 @@
+// Package advperception is the public facade of the reproduction of
+// "Revisiting Adversarial Perception Attacks and Defense Methods on
+// Autonomous Driving Systems" (DSN 2025). It re-exports the library's
+// building blocks so downstream users need a single import:
+//
+//   - victim models: the TinyDet stop-sign detector (YOLOv8 stand-in) and
+//     the DistNet lead-distance regressor (Supercombo stand-in);
+//   - the six attacks (Gaussian, FGSM, Auto-PGD, SimBA, RP2, CAP-Attack);
+//   - the four defense families (image preprocessing, adversarial
+//     training, contrastive learning, diffusion/DiffPIR);
+//   - the synthetic scene generators and the closed-loop ACC pipeline;
+//   - the experiment harness reproducing the paper's Tables I–V and
+//     Figures 1–2.
+//
+// A minimal session:
+//
+//	env := advperception.NewEnv(advperception.Quick())
+//	fmt.Print(env.RunTableI().Format())
+package advperception
+
+import (
+	"repro/internal/attack"
+	"repro/internal/box"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/detect"
+	"repro/internal/eval"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/pipeline"
+	"repro/internal/regress"
+	"repro/internal/scene"
+	"repro/internal/sim"
+	"repro/internal/xrand"
+)
+
+// Core data types.
+type (
+	// Image is the CHW float image every model consumes.
+	Image = imaging.Image
+	// Box is an axis-aligned bounding box in pixels.
+	Box = box.Box
+	// RNG is the deterministic random source used everywhere.
+	RNG = xrand.RNG
+
+	// Detector is the TinyDet stop-sign detector.
+	Detector = detect.Detector
+	// Regressor is the DistNet lead-distance regressor.
+	Regressor = regress.Regressor
+
+	// SignScene is a generated stop-sign example with ground truth.
+	SignScene = scene.SignScene
+	// DriveScene is a generated driving frame with ground truth.
+	DriveScene = scene.DriveScene
+	// SignSet is a stop-sign dataset.
+	SignSet = dataset.SignSet
+	// DriveSet is a driving-frame dataset.
+	DriveSet = dataset.DriveSet
+
+	// Objective is the attacker's view of a victim model.
+	Objective = attack.Objective
+	// Preprocessor is an input-level defense.
+	Preprocessor = defense.Preprocessor
+	// DetectionScores bundles mAP@50 / precision / recall.
+	DetectionScores = metrics.DetectionScores
+
+	// Env is the experiment environment (datasets + trained victims).
+	Env = eval.Env
+	// Preset sizes an experiment run.
+	Preset = eval.Preset
+	// Kind names one attack in the harness.
+	Kind = eval.Kind
+)
+
+// Attack kinds, re-exported for harness callers.
+const (
+	KindNone     = eval.KindNone
+	KindGaussian = eval.KindGaussian
+	KindFGSM     = eval.KindFGSM
+	KindAPGD     = eval.KindAPGD
+	KindSimBA    = eval.KindSimBA
+	KindRP2      = eval.KindRP2
+	KindCAP      = eval.KindCAP
+)
+
+// NewRNG returns a deterministic random source.
+func NewRNG(seed int64) *RNG { return xrand.New(seed) }
+
+// NewDetector builds an untrained TinyDet for size×size inputs.
+func NewDetector(rng *RNG, size int) *Detector { return detect.New(rng, size) }
+
+// NewRegressor builds an untrained DistNet for size×size inputs.
+func NewRegressor(rng *RNG, size int) *Regressor { return regress.New(rng, size) }
+
+// DefaultSignConfig returns the stop-sign scene generator configuration.
+func DefaultSignConfig() scene.SignConfig { return scene.DefaultSignConfig() }
+
+// DefaultDriveConfig returns the driving scene generator configuration.
+func DefaultDriveConfig() scene.DriveConfig { return scene.DefaultDriveConfig() }
+
+// GenerateSignSet renders n stop-sign scenes.
+func GenerateSignSet(rng *RNG, cfg scene.SignConfig, n int) *SignSet {
+	return dataset.GenerateSignSet(rng, cfg, n)
+}
+
+// GenerateDriveSet renders n driving frames with uniform distances.
+func GenerateDriveSet(rng *RNG, cfg scene.DriveConfig, n int, minZ, maxZ float64) *DriveSet {
+	return dataset.GenerateDriveSet(rng, cfg, n, minZ, maxZ)
+}
+
+// Quick returns the fast preset (tests/benchmarks).
+func Quick() Preset { return eval.Quick() }
+
+// Paper returns the preset used for EXPERIMENTS.md.
+func Paper() Preset { return eval.Paper() }
+
+// NewEnv generates datasets and trains the victim models.
+func NewEnv(p Preset) *Env { return eval.NewEnv(p) }
+
+// Attacks (low-level API; the Env methods cover the common protocol).
+var (
+	// FGSM is the single-step fast gradient sign attack.
+	FGSM = attack.FGSM
+	// AutoPGD is the adaptive iterative gradient attack.
+	AutoPGD = attack.AutoPGD
+	// SimBA is the query-based black-box attack.
+	SimBA = attack.SimBA
+	// RP2 is the physical sign-patch attack.
+	RP2 = attack.RP2
+	// GaussianNoise is the unoptimised noise attack.
+	GaussianNoise = attack.Gaussian
+	// BoxMask restricts a perturbation to a bounding box.
+	BoxMask = attack.BoxMask
+)
+
+// NewCAP returns the stateful runtime CAP attacker.
+func NewCAP(cfg attack.CAPConfig) *attack.CAP { return attack.NewCAP(cfg) }
+
+// DefaultCAPConfig returns the CAP budget used in the experiments.
+func DefaultCAPConfig() attack.CAPConfig { return attack.DefaultCAPConfig() }
+
+// Defenses.
+var (
+	// NewMedianBlur is the median-filtering defense.
+	NewMedianBlur = defense.NewMedianBlur
+	// NewBitDepth is the bit-depth-reduction defense.
+	NewBitDepth = defense.NewBitDepth
+	// NewRandomization is the random resize-pad defense.
+	NewRandomization = defense.NewRandomization
+)
+
+// RunPipeline executes the closed-loop ACC scenario.
+func RunPipeline(cfg pipeline.Config) sim.Result { return pipeline.Run(cfg) }
+
+// DefaultPipelineConfig returns the cruising scenario around a regressor.
+func DefaultPipelineConfig(reg *Regressor) pipeline.Config {
+	return pipeline.DefaultConfig(reg)
+}

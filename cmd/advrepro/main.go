@@ -1,0 +1,141 @@
+// Command advrepro reproduces the experiments of "Revisiting Adversarial
+// Perception Attacks and Defense Methods on Autonomous Driving Systems"
+// (DSN 2025): it trains the victim models, runs the selected experiment
+// and prints the paper-shaped result table.
+//
+// Usage:
+//
+//	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/eval"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro", flag.ContinueOnError)
+	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
+	exp := fs.String("exp", "all", "experiment: table1..table5, fig2, pipeline, ablations, all")
+	out := fs.String("out", "", "optional file to copy the report to")
+	verbose := fs.Bool("v", false, "log harness progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var p eval.Preset
+	switch *preset {
+	case "quick":
+		p = eval.Quick()
+	case "paper":
+		p = eval.Paper()
+	default:
+		return fmt.Errorf("unknown preset %q", *preset)
+	}
+
+	var sink io.Writer = stdout
+	var file *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return fmt.Errorf("create report: %w", err)
+		}
+		file = f
+		sink = io.MultiWriter(stdout, f)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(sink, "== advrepro: preset=%s exp=%s ==\n", p.Name, *exp)
+	env := eval.NewEnv(p)
+	if *verbose {
+		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
+	}
+	clean := env.Det.Evaluate(env.SignTestSet, 0.5)
+	fmt.Fprintf(sink, "victims: clean detection mAP50=%.2f%% P=%.2f%% R=%.2f%%; regression RMSE=%.2f m (built in %v)\n\n",
+		100*clean.MAP50, 100*clean.Precision, 100*clean.Recall, env.Reg.RMSE(env.DriveTest), time.Since(start).Round(time.Second))
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	section := func(name string, body func() string) {
+		t0 := time.Now()
+		fmt.Fprintln(sink, body())
+		fmt.Fprintf(sink, "(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Second))
+	}
+
+	if want("table1") {
+		section("table1", func() string { return env.RunTableI().Format() })
+	}
+	if want("fig2") {
+		section("fig2", func() string { return env.RunFig2().Format() })
+	}
+	if want("table2") {
+		section("table2", func() string { return env.RunTableII().Format() })
+	}
+	if want("table3") {
+		section("table3", func() string { return env.RunTableIII().Format() })
+	}
+	if want("table4") {
+		section("table4", func() string { return env.RunTableIV().Format() })
+	}
+	if want("table5") {
+		section("table5", func() string { return env.RunTableV().Format() })
+	}
+	if want("pipeline") {
+		section("pipeline", func() string { return pipelineReport(env) })
+	}
+	if want("ablations") {
+		section("ablations", func() string { return ablationReport(env) })
+	}
+
+	fmt.Fprintf(sink, "total: %v\n", time.Since(start).Round(time.Second))
+	if file != nil {
+		return file.Close()
+	}
+	return nil
+}
+
+// pipelineReport runs the closed-loop ACC scenario clean, under CAP-Attack,
+// and under CAP-Attack with the median-blur defense.
+func pipelineReport(env *eval.Env) string {
+	var b strings.Builder
+	b.WriteString("CLOSED-LOOP ACC (lead brakes at t=4s for 2s)\n")
+	b.WriteString(fmt.Sprintf("%-24s %10s %10s %10s\n", "Configuration", "MinGap(m)", "MinTTC(s)", "Collision"))
+	for _, row := range eval.PipelineScenarios(env) {
+		b.WriteString(fmt.Sprintf("%-24s %10.2f %10.2f %10v\n", row.Name, row.Result.MinGap, ttcStr(row.Result.MinTTC), row.Result.Collision))
+	}
+	return b.String()
+}
+
+func ttcStr(v float64) float64 {
+	if v > 999 {
+		return 999
+	}
+	return v
+}
+
+// ablationReport exercises the four design-choice ablations.
+func ablationReport(env *eval.Env) string {
+	var b strings.Builder
+	b.WriteString("ABLATIONS\n")
+	a, p := env.APGDvsPGD()
+	b.WriteString(fmt.Sprintf("Auto-PGD vs plain PGD, near-range induced error: %.2f m vs %.2f m\n", a, p))
+	w, c := env.CAPWarmVsCold()
+	b.WriteString(fmt.Sprintf("CAP warm-start vs cold-start, mean induced error: %.2f m vs %.2f m\n", w, c))
+	eot := env.RP2EOTSweep([]int{1, 4})
+	b.WriteString(fmt.Sprintf("RP2 EOT samples {1,4} -> post-attack mAP50: %.2f%%, %.2f%%\n", 100*eot[0], 100*eot[1]))
+	steps := env.DiffPIRStepSweep([]int{4, 12})
+	b.WriteString(fmt.Sprintf("DiffPIR steps {4,12} -> restored mAP50: %.2f%%, %.2f%%\n", 100*steps[0], 100*steps[1]))
+	return b.String()
+}

@@ -1,0 +1,71 @@
+// Quickstart: train the two victim perception models on synthetic data,
+// attack each with FGSM, and print the damage — the library's two core
+// loops (detection and distance regression) in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	advp "repro"
+
+	"repro/internal/attack"
+	"repro/internal/detect"
+	"repro/internal/regress"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := advp.NewRNG(1)
+
+	// --- Task 1: stop-sign detection (TinyDet, the YOLOv8 stand-in). ---
+	signCfg := advp.DefaultSignConfig()
+	signs := advp.GenerateSignSet(rng.Split(), signCfg, 200)
+	trainSigns, testSigns := signs.Split(0.8)
+
+	det := advp.NewDetector(rng.Split(), signCfg.Size)
+	dcfg := detect.DefaultTrainConfig()
+	dcfg.Epochs = 12
+	det.Train(trainSigns, dcfg)
+
+	clean := det.Evaluate(testSigns, 0.5)
+	fmt.Printf("detector  clean: mAP50=%.1f%% precision=%.1f%% recall=%.1f%%\n",
+		100*clean.MAP50, 100*clean.Precision, 100*clean.Recall)
+
+	// FGSM each test image against its ground truth.
+	attacked := make([]*advp.Image, testSigns.Len())
+	gts := make([][]advp.Box, testSigns.Len())
+	for i, sc := range testSigns.Scenes {
+		gts[i] = detect.GTBoxes(sc)
+		obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+		attacked[i] = advp.FGSM(obj, sc.Img, 0.01, nil)
+	}
+	adv := det.EvaluateImages(attacked, gts, 0.5)
+	fmt.Printf("detector   FGSM: mAP50=%.1f%% precision=%.1f%% recall=%.1f%%\n",
+		100*adv.MAP50, 100*adv.Precision, 100*adv.Recall)
+
+	// --- Task 2: lead-distance regression (DistNet, the Supercombo stand-in). ---
+	driveCfg := advp.DefaultDriveConfig()
+	drives := advp.GenerateDriveSet(rng.Split(), driveCfg, 300, driveCfg.MinZ, driveCfg.MaxZ)
+	trainDrives, testDrives := drives.Split(0.8)
+
+	reg := advp.NewRegressor(rng.Split(), driveCfg.Size)
+	rcfg := regress.DefaultTrainConfig()
+	rcfg.Epochs = 12
+	reg.Train(trainDrives, rcfg)
+	fmt.Printf("regressor clean: RMSE=%.2f m\n", reg.RMSE(testDrives))
+
+	// Attack one near frame: the classic "lead looks farther than it is".
+	sc := testDrives.Scenes[0]
+	obj := &attack.RegressionObjective{Reg: reg}
+	mask := advp.BoxMask(sc.Img.C, sc.Img.H, sc.Img.W, sc.LeadBox, 1)
+	advImg := advp.AutoPGD(obj, sc.Img, attack.DefaultAPGDConfig(0.03), mask)
+	fmt.Printf("regressor attack demo: true=%.1f m, clean pred=%.1f m, attacked pred=%.1f m\n",
+		sc.Distance, reg.Predict(sc.Img), reg.Predict(advImg))
+	return nil
+}

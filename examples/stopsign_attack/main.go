@@ -1,0 +1,103 @@
+// Stop-sign attack sweep: trains TinyDet, then measures mAP@50, precision
+// and recall under every attack of the paper's Fig. 2 (None, FGSM,
+// Auto-PGD, RP2, Gaussian, SimBA) plus the image-processing defenses of
+// Table II applied to the strongest attack.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	advp "repro"
+
+	"repro/internal/attack"
+	"repro/internal/defense"
+	"repro/internal/detect"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	rng := advp.NewRNG(3)
+	cfg := advp.DefaultSignConfig()
+	signs := advp.GenerateSignSet(rng.Split(), cfg, 240)
+	train, test := signs.Split(0.8)
+
+	det := advp.NewDetector(rng.Split(), cfg.Size)
+	tc := detect.DefaultTrainConfig()
+	tc.Epochs = 14
+	det.Train(train, tc)
+
+	gts := make([][]advp.Box, test.Len())
+	for i, sc := range test.Scenes {
+		gts[i] = detect.GTBoxes(sc)
+	}
+
+	// The attack sweep of Fig. 2.
+	sweeps := []struct {
+		name string
+		gen  func(i int) *advp.Image
+	}{
+		{"None", func(i int) *advp.Image { return test.Scenes[i].Img.Clone() }},
+		{"FGSM", func(i int) *advp.Image {
+			obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+			return advp.FGSM(obj, test.Scenes[i].Img, 0.004, nil)
+		}},
+		{"Auto-PGD", func(i int) *advp.Image {
+			obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+			return advp.AutoPGD(obj, test.Scenes[i].Img, attack.DefaultAPGDConfig(0.0007), nil)
+		}},
+		{"RP2", func(i int) *advp.Image {
+			sc := test.Scenes[i]
+			if !sc.HasSign {
+				return sc.Img.Clone()
+			}
+			obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+			return advp.RP2(obj, sc.Img, sc.Box, attack.DefaultRP2Config())
+		}},
+		{"Gaussian", func(i int) *advp.Image {
+			return advp.GaussianNoise(advp.NewRNG(int64(i)), test.Scenes[i].Img, 0.27, nil)
+		}},
+		{"SimBA", func(i int) *advp.Image {
+			obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+			c := attack.DefaultSimBAConfig()
+			c.Eps, c.Steps, c.Seed = 0.12, 200, int64(i)
+			return advp.SimBA(obj, test.Scenes[i].Img, c, nil)
+		}},
+	}
+
+	fmt.Printf("%-10s %8s %10s %8s\n", "Attack", "mAP50", "Precision", "Recall")
+	var fgsmImgs []*advp.Image
+	for _, sw := range sweeps {
+		imgs := make([]*advp.Image, test.Len())
+		for i := range imgs {
+			imgs[i] = sw.gen(i)
+		}
+		if sw.name == "FGSM" {
+			fgsmImgs = imgs
+		}
+		s := det.EvaluateImages(imgs, gts, 0.5)
+		fmt.Printf("%-10s %8.2f %10.2f %8.2f\n", sw.name, 100*s.MAP50, 100*s.Precision, 100*s.Recall)
+	}
+
+	// Table II-style defense pass on the FGSM outputs.
+	fmt.Printf("\nFGSM + preprocessing defenses:\n")
+	preps := []defense.Preprocessor{
+		defense.NewMedianBlur(),
+		defense.NewRandomization(5),
+		defense.NewBitDepth(),
+	}
+	for _, p := range preps {
+		cleaned := make([]*advp.Image, len(fgsmImgs))
+		for i, img := range fgsmImgs {
+			cleaned[i] = p.Process(img)
+		}
+		s := det.EvaluateImages(cleaned, gts, 0.5)
+		fmt.Printf("%-18s mAP50=%.2f%% P=%.2f%% R=%.2f%%\n", p.Name(), 100*s.MAP50, 100*s.Precision, 100*s.Recall)
+	}
+	return nil
+}

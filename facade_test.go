@@ -1,0 +1,123 @@
+package advperception
+
+// Integration tests of the public facade: the end-to-end flows a library
+// user exercises, at miniature scale.
+
+import (
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/detect"
+	"repro/internal/regress"
+)
+
+func TestFacadeDetectionFlow(t *testing.T) {
+	rng := NewRNG(1)
+	cfg := DefaultSignConfig()
+	set := GenerateSignSet(rng.Split(), cfg, 80)
+	train, test := set.Split(0.8)
+
+	det := NewDetector(rng.Split(), cfg.Size)
+	tc := detect.DefaultTrainConfig()
+	tc.Epochs = 8
+	det.Train(train, tc)
+
+	clean := det.Evaluate(test, 0.5)
+	if clean.MAP50 <= 0 {
+		t.Fatalf("clean mAP %v", clean.MAP50)
+	}
+
+	// Attack every test image; metrics must degrade or stay equal.
+	imgs := make([]*Image, test.Len())
+	gts := make([][]Box, test.Len())
+	for i, sc := range test.Scenes {
+		gts[i] = detect.GTBoxes(sc)
+		obj := &attack.DetectionObjective{Det: det, GT: gts[i]}
+		imgs[i] = FGSM(obj, sc.Img, 0.02, nil)
+	}
+	adv := det.EvaluateImages(imgs, gts, 0.5)
+	if adv.MAP50 > clean.MAP50 {
+		t.Fatalf("FGSM improved detection: %.3f -> %.3f", clean.MAP50, adv.MAP50)
+	}
+}
+
+func TestFacadeRegressionFlow(t *testing.T) {
+	rng := NewRNG(2)
+	cfg := DefaultDriveConfig()
+	set := GenerateDriveSet(rng.Split(), cfg, 120, cfg.MinZ, cfg.MaxZ)
+	train, test := set.Split(0.8)
+
+	reg := NewRegressor(rng.Split(), cfg.Size)
+	rc := regress.DefaultTrainConfig()
+	rc.Epochs = 8
+	reg.Train(train, rc)
+
+	sc := test.Scenes[0]
+	obj := &attack.RegressionObjective{Reg: reg}
+	mask := BoxMask(sc.Img.C, sc.Img.H, sc.Img.W, sc.LeadBox, 1)
+	adv := AutoPGD(obj, sc.Img, attack.DefaultAPGDConfig(0.04), mask)
+	if reg.Predict(adv) <= reg.Predict(sc.Img) {
+		t.Fatal("Auto-PGD failed to inflate the predicted distance")
+	}
+}
+
+func TestFacadeDefenses(t *testing.T) {
+	img := &Image{}
+	*img = *benchImage()
+	for _, p := range []Preprocessor{NewMedianBlur(), NewBitDepth(), NewRandomization(1)} {
+		out := p.Process(img)
+		if out.H != img.H || out.W != img.W {
+			t.Fatalf("%s changed shape", p.Name())
+		}
+	}
+}
+
+func benchImage() *Image {
+	rng := NewRNG(3)
+	cfg := DefaultDriveConfig()
+	return GenerateDriveSet(rng, cfg, 1, 10, 20).Scenes[0].Img
+}
+
+func TestFacadePipeline(t *testing.T) {
+	rng := NewRNG(4)
+	cfg := DefaultDriveConfig()
+	set := GenerateDriveSet(rng.Split(), cfg, 80, cfg.MinZ, cfg.MaxZ)
+	reg := NewRegressor(rng.Split(), cfg.Size)
+	rc := regress.DefaultTrainConfig()
+	rc.Epochs = 6
+	reg.Train(set, rc)
+
+	pc := DefaultPipelineConfig(reg)
+	pc.Duration = 4 // keep the test short
+	res := RunPipeline(pc)
+	if len(res.Times) == 0 {
+		t.Fatal("pipeline produced no telemetry")
+	}
+}
+
+func TestFacadeCAP(t *testing.T) {
+	rng := NewRNG(5)
+	cfg := DefaultDriveConfig()
+	set := GenerateDriveSet(rng.Split(), cfg, 60, 8, 40)
+	reg := NewRegressor(rng.Split(), cfg.Size)
+	rc := regress.DefaultTrainConfig()
+	rc.Epochs = 6
+	reg.Train(set, rc)
+
+	c := NewCAP(DefaultCAPConfig())
+	obj := &attack.RegressionObjective{Reg: reg}
+	var total float64
+	for _, sc := range set.Scenes[:5] {
+		adv := c.Apply(obj, sc.Img, sc.LeadBox)
+		total += reg.Predict(adv) - reg.Predict(sc.Img)
+	}
+	if total <= 0 {
+		t.Fatalf("CAP failed to inflate distance predictions, total shift %v", total)
+	}
+}
+
+func TestPresetsExposed(t *testing.T) {
+	if Quick().Name != "quick" || Paper().Name != "paper" {
+		t.Fatal("preset facade broken")
+	}
+}

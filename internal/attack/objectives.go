@@ -1,0 +1,53 @@
+package attack
+
+import (
+	"repro/internal/box"
+	"repro/internal/detect"
+	"repro/internal/imaging"
+	"repro/internal/regress"
+	"repro/internal/tensor"
+)
+
+// DetectionObjective wraps a detector as an attack target: the attacker
+// ascends the detector's training loss against the true boxes (untargeted
+// mis-detection) and, for black-box queries, drives down the maximum
+// objectness (the "a sign is present" confidence).
+type DetectionObjective struct {
+	Det *detect.Detector
+	GT  []box.Box
+}
+
+var _ Objective = (*DetectionObjective)(nil)
+
+// LossGrad implements Objective.
+func (o *DetectionObjective) LossGrad(img *imaging.Image) (float64, *tensor.Tensor) {
+	return o.Det.TrainLoss(img, o.GT)
+}
+
+// Score implements Objective.
+func (o *DetectionObjective) Score(img *imaging.Image) float64 {
+	return o.Det.MaxObjectness(img)
+}
+
+// RegressionObjective wraps the distance regressor as an attack target.
+// The attacker wants the predicted distance pushed up (the lead vehicle
+// appears farther than it is, the hazardous direction for ACC: the ego
+// accelerates into a gap that does not exist — the CAP-Attack scenario).
+type RegressionObjective struct {
+	Reg *regress.Regressor
+}
+
+var _ Objective = (*RegressionObjective)(nil)
+
+// LossGrad implements Objective: loss = predicted distance (normalised),
+// so ascending it inflates the perceived gap.
+func (o *RegressionObjective) LossGrad(img *imaging.Image) (float64, *tensor.Tensor) {
+	pred, grad := o.Reg.DistanceGrad(img)
+	return pred / o.Reg.MaxDist, grad
+}
+
+// Score implements Objective: SimBA drives the score down, which here
+// means pushing the predicted distance up.
+func (o *RegressionObjective) Score(img *imaging.Image) float64 {
+	return -o.Reg.Predict(img)
+}

@@ -1,0 +1,85 @@
+package attack
+
+import (
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// SimBAConfig parameterises the simple black-box attack.
+type SimBAConfig struct {
+	Eps   float64 // per-step magnitude along one basis vector
+	Steps int     // maximum number of basis directions tried
+	Seed  int64
+}
+
+// DefaultSimBAConfig returns the settings used across the experiments.
+func DefaultSimBAConfig() SimBAConfig {
+	return SimBAConfig{Eps: 0.25, Steps: 600, Seed: 11}
+}
+
+// SimBA runs the query-efficient black-box attack of Guo et al.: it walks
+// random orthonormal pixel-basis directions, keeping a ±ε step whenever it
+// lowers the victim's score. The cumulative perturbation after T kept
+// steps has ‖δ‖₂ ≤ √T·ε (Eq. 4). Only Score queries touch the model, so
+// the attack needs no gradients. An optional mask restricts the sampled
+// coordinates.
+func SimBA(obj Objective, img *imaging.Image, cfg SimBAConfig, mask *tensor.Tensor) *imaging.Image {
+	rng := xrand.New(cfg.Seed)
+	x := img.Clone()
+
+	// Candidate coordinates: all pixels, or the mask's support.
+	coords := make([]int, 0, len(x.Pix))
+	if mask == nil {
+		for i := range x.Pix {
+			coords = append(coords, i)
+		}
+	} else {
+		for i, v := range mask.Data() {
+			if v != 0 {
+				coords = append(coords, i)
+			}
+		}
+	}
+	if len(coords) == 0 {
+		return x
+	}
+	rng.Shuffle(len(coords), func(i, j int) { coords[i], coords[j] = coords[j], coords[i] })
+
+	score := obj.Score(x)
+	steps := cfg.Steps
+	if steps > len(coords) {
+		steps = len(coords)
+	}
+	eps := float32(cfg.Eps)
+	for t := 0; t < steps; t++ {
+		i := coords[t]
+		orig := x.Pix[i]
+
+		// Try +ε.
+		x.Pix[i] = clamp01(orig + eps)
+		if s := obj.Score(x); s < score {
+			score = s
+			continue
+		}
+		// Try -ε.
+		x.Pix[i] = clamp01(orig - eps)
+		if s := obj.Score(x); s < score {
+			score = s
+			continue
+		}
+		// Neither direction helped: revert.
+		x.Pix[i] = orig
+	}
+	return x
+}
+
+func clamp01(v float32) float32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+// Package defense implements the four defense families evaluated in the
+// paper: input preprocessing (median blurring, bit-depth reduction,
+// randomization), adversarial training, contrastive representation
+// learning, and diffusion-based image restoration (DiffPIR).
+package defense
+
+import (
+	"repro/internal/imaging"
+	"repro/internal/xrand"
+)
+
+// Preprocessor is an input-level defense applied to a (possibly attacked)
+// image before it reaches the perception model.
+type Preprocessor interface {
+	// Name identifies the defense in reports.
+	Name() string
+	// Process returns the defended image; the input is not modified.
+	Process(img *imaging.Image) *imaging.Image
+}
+
+// None is the identity preprocessor (the "no defense" table rows).
+type None struct{}
+
+var _ Preprocessor = None{}
+
+// Name implements Preprocessor.
+func (None) Name() string { return "None" }
+
+// Process implements Preprocessor.
+func (None) Process(img *imaging.Image) *imaging.Image { return img.Clone() }
+
+// MedianBlur applies k×k median filtering (Xu et al. feature squeezing).
+type MedianBlur struct {
+	K int
+}
+
+var _ Preprocessor = MedianBlur{}
+
+// NewMedianBlur returns the defense with the standard 3×3 window.
+func NewMedianBlur() MedianBlur { return MedianBlur{K: 3} }
+
+// Name implements Preprocessor.
+func (m MedianBlur) Name() string { return "Median Blurring" }
+
+// Process implements Preprocessor.
+func (m MedianBlur) Process(img *imaging.Image) *imaging.Image {
+	return imaging.MedianBlur(img, m.K)
+}
+
+// BitDepth quantises pixels to the given bit depth (feature squeezing).
+type BitDepth struct {
+	Bits int
+}
+
+var _ Preprocessor = BitDepth{}
+
+// NewBitDepth returns the defense at the paper's 4-bit setting.
+func NewBitDepth() BitDepth { return BitDepth{Bits: 4} }
+
+// Name implements Preprocessor.
+func (b BitDepth) Name() string { return "Bit Depth" }
+
+// Process implements Preprocessor.
+func (b BitDepth) Process(img *imaging.Image) *imaging.Image {
+	return imaging.BitDepthReduce(img, b.Bits)
+}
+
+// Randomization resizes the input to a random smaller scale, pads it back
+// at a random offset and injects a little noise (Xie et al.), breaking the
+// pixel alignment adversarial perturbations rely on. The defense is
+// stateful (its RNG advances per image) but deterministic from its seed.
+type Randomization struct {
+	MinScale float64
+	NoiseStd float64
+	rng      *xrand.RNG
+}
+
+var _ Preprocessor = (*Randomization)(nil)
+
+// NewRandomization returns the defense with the standard configuration.
+func NewRandomization(seed int64) *Randomization {
+	return &Randomization{MinScale: 0.8, NoiseStd: 0.02, rng: xrand.New(seed)}
+}
+
+// Name implements Preprocessor.
+func (r *Randomization) Name() string { return "Randomization" }
+
+// Process implements Preprocessor.
+func (r *Randomization) Process(img *imaging.Image) *imaging.Image {
+	return imaging.RandomResizePad(r.rng, img, r.MinScale, r.NoiseStd)
+}
+
+// Chain composes preprocessors left to right, supporting the "combine
+// complementary preprocessing techniques" direction from the discussion.
+type Chain struct {
+	Steps []Preprocessor
+}
+
+var _ Preprocessor = Chain{}
+
+// Name implements Preprocessor.
+func (c Chain) Name() string {
+	name := ""
+	for i, s := range c.Steps {
+		if i > 0 {
+			name += "+"
+		}
+		name += s.Name()
+	}
+	return name
+}
+
+// Process implements Preprocessor.
+func (c Chain) Process(img *imaging.Image) *imaging.Image {
+	out := img.Clone()
+	for _, s := range c.Steps {
+		out = s.Process(out)
+	}
+	return out
+}

@@ -1,0 +1,267 @@
+// Package detect implements TinyDet, the single-class grid detector that
+// stands in for the paper's single-class YOLOv8 stop-sign model. The
+// detector divides the image into an G×G grid; each cell predicts an
+// objectness logit and a box (center offset within the cell plus width and
+// height as fractions of the image). Decoding applies a confidence
+// threshold and non-maximum suppression.
+package detect
+
+import (
+	"fmt"
+
+	"repro/internal/box"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Output channel layout per grid cell.
+const (
+	chObj = 0 // objectness logit
+	chTX  = 1 // center x offset within cell, target in [0,1]
+	chTY  = 2 // center y offset within cell, target in [0,1]
+	chTW  = 3 // box width / image size
+	chTH  = 4 // box height / image size
+
+	numCh = 5
+)
+
+// Loss balancing: one positive cell vs ~63 background cells.
+const (
+	wPositiveObj = 5.0
+	wNegativeObj = 0.6
+	wBox         = 14.0
+)
+
+// Detector is the TinyDet model.
+type Detector struct {
+	Net  *nn.Sequential
+	Size int // input image side (pixels)
+	Grid int // grid side (cells)
+}
+
+// New builds a TinyDet for size×size RGB inputs. The backbone is three
+// stride-2 convolutions (size/8 grid) followed by a 1×1 prediction head.
+func New(rng *xrand.RNG, size int) *Detector {
+	if size%8 != 0 {
+		panic(fmt.Sprintf("detect: size %d must be divisible by 8", size))
+	}
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, 3, 12, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, 12, 24, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, 24, 48, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, 48, 48, 3, 1, 1), // grid-level context: widen the
+		nn.NewLeakyReLU(0.1),               // receptive field beyond one cell
+		nn.NewConv2D(rng, 48, numCh, 3, 1, 1),
+	)
+	return &Detector{Net: net, Size: size, Grid: size / 8}
+}
+
+// Clone returns an independent copy for concurrent use.
+func (d *Detector) Clone() *Detector {
+	return &Detector{Net: d.Net.Clone(), Size: d.Size, Grid: d.Grid}
+}
+
+// BackboneLayers returns the feature-extraction layers (everything but the
+// prediction head); contrastive fine-tuning operates on these.
+func (d *Detector) BackboneLayers() []nn.Layer {
+	ls := d.Net.Layers()
+	return ls[:len(ls)-1]
+}
+
+// Forward runs the network, returning the raw (5,G,G) prediction map.
+func (d *Detector) Forward(img *imaging.Image) *tensor.Tensor {
+	return d.Net.Forward(img.Tensor(), false)
+}
+
+// Detect runs the detector and decodes boxes with the given confidence
+// threshold, applying NMS at IoU 0.45.
+func (d *Detector) Detect(img *imaging.Image, minScore float64) []metrics.Detection {
+	raw := d.Forward(img)
+	return d.Decode(raw, minScore)
+}
+
+// Decode converts a raw prediction map into scored, NMS-filtered boxes.
+func (d *Detector) Decode(raw *tensor.Tensor, minScore float64) []metrics.Detection {
+	g := d.Grid
+	cell := float64(d.Size) / float64(g)
+	var dets []metrics.Detection
+	for gy := 0; gy < g; gy++ {
+		for gx := 0; gx < g; gx++ {
+			score := float64(nn.SigmoidScalar(raw.At(chObj, gy, gx)))
+			if score < minScore {
+				continue
+			}
+			tx := clampF(raw.At(chTX, gy, gx), 0, 1)
+			ty := clampF(raw.At(chTY, gy, gx), 0, 1)
+			tw := clampF(raw.At(chTW, gy, gx), 0.01, 1)
+			th := clampF(raw.At(chTH, gy, gx), 0.01, 1)
+			cx := (float64(gx) + float64(tx)) * cell
+			cy := (float64(gy) + float64(ty)) * cell
+			w := float64(tw) * float64(d.Size)
+			h := float64(th) * float64(d.Size)
+			dets = append(dets, metrics.Detection{
+				Box:   box.FromCenter(cx, cy, w, h).Clip(float64(d.Size), float64(d.Size)),
+				Score: score,
+			})
+		}
+	}
+	return NMS(dets, 0.45)
+}
+
+// NMS performs greedy non-maximum suppression at the given IoU threshold.
+func NMS(dets []metrics.Detection, iouThresh float64) []metrics.Detection {
+	// Sort by score descending (insertion sort: lists are short).
+	for i := 1; i < len(dets); i++ {
+		for j := i; j > 0 && dets[j].Score > dets[j-1].Score; j-- {
+			dets[j], dets[j-1] = dets[j-1], dets[j]
+		}
+	}
+	var keep []metrics.Detection
+	suppressed := make([]bool, len(dets))
+	for i := range dets {
+		if suppressed[i] {
+			continue
+		}
+		keep = append(keep, dets[i])
+		for j := i + 1; j < len(dets); j++ {
+			if !suppressed[j] && dets[i].Box.IoU(dets[j].Box) > iouThresh {
+				suppressed[j] = true
+			}
+		}
+	}
+	return keep
+}
+
+// Targets encodes ground-truth boxes into the (5,G,G) target map and the
+// per-element loss weights.
+func (d *Detector) Targets(gt []box.Box) (target, weight *tensor.Tensor) {
+	g := d.Grid
+	cell := float64(d.Size) / float64(g)
+	target = tensor.New(numCh, g, g)
+	weight = tensor.New(numCh, g, g)
+	// Background objectness weight everywhere, overwritten at positives.
+	for gy := 0; gy < g; gy++ {
+		for gx := 0; gx < g; gx++ {
+			weight.Set(wNegativeObj, chObj, gy, gx)
+		}
+	}
+	for _, b := range gt {
+		if b.Empty() {
+			continue
+		}
+		gx := int(b.CX() / cell)
+		gy := int(b.CY() / cell)
+		if gx < 0 || gx >= g || gy < 0 || gy >= g {
+			continue
+		}
+		target.Set(1, chObj, gy, gx)
+		weight.Set(wPositiveObj, chObj, gy, gx)
+		target.Set(float32(b.CX()/cell-float64(gx)), chTX, gy, gx)
+		target.Set(float32(b.CY()/cell-float64(gy)), chTY, gy, gx)
+		target.Set(float32(b.W()/float64(d.Size)), chTW, gy, gx)
+		target.Set(float32(b.H()/float64(d.Size)), chTH, gy, gx)
+		for c := chTX; c <= chTH; c++ {
+			weight.Set(wBox, c, gy, gx)
+		}
+	}
+	return target, weight
+}
+
+// LossGrad computes the detection loss of a raw prediction map against
+// ground truth, returning the loss and its gradient w.r.t. the raw map.
+// The objectness channel uses weighted BCE on logits; box channels use
+// weighted MSE restricted to positive cells.
+func (d *Detector) LossGrad(raw *tensor.Tensor, gt []box.Box) (float64, *tensor.Tensor) {
+	target, weight := d.Targets(gt)
+	return d.lossWithTargets(raw, target, weight)
+}
+
+func (d *Detector) lossWithTargets(raw, target, weight *tensor.Tensor) (float64, *tensor.Tensor) {
+	g := d.Grid
+	plane := g * g
+	grad := tensor.New(numCh, g, g)
+	rawD := raw.Data()
+	tD := target.Data()
+	wD := weight.Data()
+	gD := grad.Data()
+	n := float64(plane) // normalise per-cell so loss scale is grid-independent
+
+	var loss float64
+	// Objectness: weighted BCE with logits.
+	for i := 0; i < plane; i++ {
+		w := float64(wD[i])
+		if w == 0 {
+			continue
+		}
+		z := float64(rawD[i])
+		t := float64(tD[i])
+		loss += w * (maxF64(z, 0) - z*t + log1pExpNegAbs(z))
+		gD[i] = float32(w * (float64(nn.SigmoidScalar(rawD[i])) - t) / n)
+	}
+	// Box channels: weighted MSE.
+	for i := plane; i < numCh*plane; i++ {
+		w := float64(wD[i])
+		if w == 0 {
+			continue
+		}
+		diff := float64(rawD[i] - tD[i])
+		loss += 0.5 * w * diff * diff
+		gD[i] = float32(w * diff / n)
+	}
+	return loss / n, grad
+}
+
+// TrainLoss runs a forward pass and returns loss and input gradient; it is
+// the primitive white-box attacks use (∇x of the training loss).
+func (d *Detector) TrainLoss(img *imaging.Image, gt []box.Box) (float64, *tensor.Tensor) {
+	raw := d.Net.Forward(img.Tensor(), false)
+	loss, grad := d.LossGrad(raw, gt)
+	d.Net.ZeroGrad()
+	return loss, d.Net.Backward(grad)
+}
+
+// MaxObjectness returns the maximum post-sigmoid objectness over the grid,
+// the scalar "sign present" confidence that SimBA queries.
+func (d *Detector) MaxObjectness(img *imaging.Image) float64 {
+	raw := d.Forward(img)
+	plane := d.Grid * d.Grid
+	best := raw.Data()[0]
+	for _, v := range raw.Data()[1:plane] {
+		if v > best {
+			best = v
+		}
+	}
+	return float64(nn.SigmoidScalar(best))
+}
+
+func clampF(v, lo, hi float32) float32 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func maxF64(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// log1pExpNegAbs computes log(1+exp(-|z|)) stably.
+func log1pExpNegAbs(z float64) float64 {
+	if z < 0 {
+		z = -z
+	}
+	// For large z, exp(-z) underflows harmlessly to 0.
+	return log1p(exp(-z))
+}

@@ -1,0 +1,164 @@
+package detect
+
+import (
+	"math"
+
+	"repro/internal/box"
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/scene"
+	"repro/internal/xrand"
+)
+
+func log1p(x float64) float64 { return math.Log1p(x) }
+func exp(x float64) float64   { return math.Exp(x) }
+
+// Box aliases box.Box so callers of the detect API do not need a separate
+// import for ground-truth plumbing.
+type Box = box.Box
+
+// gtBoxes extracts the ground-truth box list of a scene (empty for
+// negative scenes).
+func gtBoxes(sc scene.SignScene) []Box {
+	if !sc.HasSign {
+		return nil
+	}
+	return []Box{sc.Box}
+}
+
+// GTBoxes exposes gtBoxes for the attack and defense packages.
+func GTBoxes(sc scene.SignScene) []Box { return gtBoxes(sc) }
+
+// TrainConfig controls detector training.
+type TrainConfig struct {
+	Epochs int
+	Batch  int
+	LR     float32
+	Seed   int64
+	// DecayAt is the fraction of epochs after which LR is multiplied by
+	// DecayFactor (0 disables the schedule).
+	DecayAt     float64
+	DecayFactor float32
+	// Logf, when non-nil, receives one line per epoch.
+	Logf func(format string, args ...any)
+}
+
+// DefaultTrainConfig returns settings that train TinyDet to high clean
+// accuracy on the synthetic stop-sign distribution.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, Batch: 16, LR: 3e-3, Seed: 1, DecayAt: 0.6, DecayFactor: 0.3}
+}
+
+// Train fits the detector on the sign set. Each epoch shuffles the data,
+// accumulates gradients over mini-batches and applies an Adam step.
+// It returns the final mean epoch loss.
+func (d *Detector) Train(set *dataset.SignSet, cfg TrainConfig) float64 {
+	rng := xrand.New(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	idx := make([]int, set.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maybeDecay(opt, cfg, epoch)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
+			d.Net.ZeroGrad()
+			for _, bi := range batch {
+				sc := set.Scenes[idx[bi]]
+				raw := d.Net.Forward(sc.Img.Tensor(), true)
+				gt := gtBoxes(sc)
+				loss, grad := d.LossGrad(raw, gt)
+				epochLoss += loss
+				d.Net.Backward(grad)
+			}
+			scaleGrads(d.Net.Params(), 1/float32(len(batch)))
+			nn.ClipGradNorm(d.Net.Params(), 10)
+			opt.Step(d.Net.Params())
+		}
+		epochLoss /= float64(set.Len())
+		if cfg.Logf != nil {
+			cfg.Logf("detect: epoch %d/%d loss %.5f", epoch+1, cfg.Epochs, epochLoss)
+		}
+	}
+	return epochLoss
+}
+
+// TrainImages fits the detector on explicit image/ground-truth pairs;
+// the adversarial-training defense uses it with perturbed images.
+func (d *Detector) TrainImages(imgs []*imaging.Image, gts [][]Box, cfg TrainConfig) float64 {
+	rng := xrand.New(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	idx := make([]int, len(imgs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		maybeDecay(opt, cfg, epoch)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
+			d.Net.ZeroGrad()
+			for _, bi := range batch {
+				k := idx[bi]
+				raw := d.Net.Forward(imgs[k].Tensor(), true)
+				loss, grad := d.LossGrad(raw, gts[k])
+				epochLoss += loss
+				d.Net.Backward(grad)
+			}
+			scaleGrads(d.Net.Params(), 1/float32(len(batch)))
+			nn.ClipGradNorm(d.Net.Params(), 10)
+			opt.Step(d.Net.Params())
+		}
+		epochLoss /= float64(len(imgs))
+		if cfg.Logf != nil {
+			cfg.Logf("detect: epoch %d/%d loss %.5f", epoch+1, cfg.Epochs, epochLoss)
+		}
+	}
+	return epochLoss
+}
+
+// Evaluate runs the detector over a set and returns the paper's three
+// detection metrics at the given confidence threshold.
+func (d *Detector) Evaluate(set *dataset.SignSet, scoreThresh float64) metrics.DetectionScores {
+	evals := make([]metrics.ImageEval, set.Len())
+	for i, sc := range set.Scenes {
+		evals[i] = metrics.ImageEval{
+			Dets: d.Detect(sc.Img, 0.05), // low floor so AP sweep sees the full curve
+			GT:   gtBoxes(sc),
+		}
+	}
+	return metrics.EvalDetections(evals, scoreThresh)
+}
+
+// EvaluateImages evaluates on explicit image/GT pairs (used when images
+// have been attacked or defended).
+func (d *Detector) EvaluateImages(imgs []*imaging.Image, gts [][]Box, scoreThresh float64) metrics.DetectionScores {
+	evals := make([]metrics.ImageEval, len(imgs))
+	for i := range imgs {
+		evals[i] = metrics.ImageEval{Dets: d.Detect(imgs[i], 0.05), GT: gts[i]}
+	}
+	return metrics.EvalDetections(evals, scoreThresh)
+}
+
+// maybeDecay applies the one-step learning-rate schedule at the epoch
+// boundary given by cfg.DecayAt.
+func maybeDecay(opt *nn.Adam, cfg TrainConfig, epoch int) {
+	if cfg.DecayAt <= 0 || cfg.DecayFactor <= 0 {
+		return
+	}
+	if epoch == int(cfg.DecayAt*float64(cfg.Epochs)) {
+		opt.LR *= cfg.DecayFactor
+	}
+}
+
+func scaleGrads(params []*nn.Param, s float32) {
+	for _, p := range params {
+		p.Grad.ScaleInPlace(s)
+	}
+}

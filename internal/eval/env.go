@@ -1,0 +1,154 @@
+package eval
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/detect"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/regress"
+	"repro/internal/scene"
+	"repro/internal/xrand"
+)
+
+// Env holds the shared experiment state: datasets, the two trained victim
+// models, and (lazily) the trained diffusion prior. Building an Env is the
+// expensive step; every table reuses it.
+type Env struct {
+	Preset  Preset
+	Budgets AttackBudgets
+
+	SignCfg  scene.SignConfig
+	DriveCfg scene.DriveConfig
+
+	Det *detect.Detector
+	Reg *regress.Regressor
+
+	SignTrainSet *dataset.SignSet
+	SignTestSet  *dataset.SignSet
+	DriveTrain   *dataset.DriveSet
+	DriveTest    *dataset.DriveSet // stratified over the paper's buckets
+
+	Logf func(format string, args ...any)
+
+	diffOnce sync.Once
+	diff     *defense.Diffusion
+}
+
+// NewEnv generates datasets and trains the victim models under the preset.
+func NewEnv(p Preset) *Env {
+	e := &Env{
+		Preset:   p,
+		Budgets:  DefaultBudgets(),
+		SignCfg:  scene.DefaultSignConfig(),
+		DriveCfg: scene.DefaultDriveConfig(),
+	}
+	rng := xrand.New(p.Seed)
+
+	e.SignTrainSet = dataset.GenerateSignSet(rng.Split(), e.SignCfg, p.SignTrain)
+	e.SignTestSet = dataset.GenerateSignSet(rng.Split(), e.SignCfg, p.SignTest)
+	e.DriveTrain = dataset.GenerateDriveSet(rng.Split(), e.DriveCfg, p.DriveTrain, e.DriveCfg.MinZ, e.DriveCfg.MaxZ)
+	// Stratified test set: equal support in each of the paper's ranges.
+	// The [0,20] bucket starts at the generator's minimum usable distance.
+	buckets := [][2]float64{{e.DriveCfg.MinZ, 20}, {20, 40}, {40, 60}, {60, 80}}
+	e.DriveTest = dataset.GenerateDriveSetStratified(rng.Split(), e.DriveCfg, p.DrivePerBucket, buckets)
+
+	e.Det = detect.New(rng.Split(), e.SignCfg.Size)
+	dcfg := detect.DefaultTrainConfig()
+	dcfg.Epochs = p.DetEpochs
+	dcfg.Seed = p.Seed + 1
+	e.Det.Train(e.SignTrainSet, dcfg)
+
+	e.Reg = regress.New(rng.Split(), e.DriveCfg.Size)
+	rcfg := regress.DefaultTrainConfig()
+	rcfg.Epochs = p.RegEpochs
+	rcfg.Seed = p.Seed + 2
+	e.Reg.Train(e.DriveTrain, rcfg)
+
+	return e
+}
+
+// logf logs progress when a sink is configured.
+func (e *Env) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
+}
+
+// Diffusion returns the trained DDPM prior, training it on first use on a
+// mixture of clean sign and driving scenes (the defense must cover both
+// tasks' input distributions).
+func (e *Env) Diffusion() *defense.Diffusion {
+	e.diffOnce.Do(func() {
+		cfg := defense.DefaultDiffusionConfig()
+		cfg.TrainSteps = e.Preset.DiffusionSteps
+		cfg.Seed = e.Preset.Seed + 3
+		cfg.Logf = e.Logf
+		rng := xrand.New(e.Preset.Seed + 4)
+		d := defense.NewDiffusion(rng.Split(), cfg)
+		pick := rng.Split()
+		d.Train(cfg, func() *imaging.Image {
+			if pick.Bool(0.5) {
+				return e.SignTrainSet.Scenes[pick.Intn(e.SignTrainSet.Len())].Img
+			}
+			return e.DriveTrain.Scenes[pick.Intn(e.DriveTrain.Len())].Img
+		})
+		e.diff = d
+	})
+	return e.diff
+}
+
+// DiffPIR returns the diffusion defense as a Preprocessor.
+func (e *Env) DiffPIR() *defense.DiffPIRDefense {
+	cfg := defense.DefaultDiffPIRConfig()
+	cfg.Steps = e.Preset.DiffPIRSteps
+	return &defense.DiffPIRDefense{Model: e.Diffusion(), Cfg: cfg}
+}
+
+// Ranges are the evaluation buckets used in every regression table; the
+// first bucket label is the paper's "[0,20]".
+func (e *Env) Ranges() [][2]float64 { return metrics.PaperRanges }
+
+// maxWorkers returns the worker-pool size parallelMap will use for n
+// items; callers allocate one model clone per worker.
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// parallelMap runs fn(i) for i in [0,n) across maxWorkers(n) workers.
+// Workers receive a worker id so callers can hand each one a cloned model.
+func parallelMap(n int, fn func(worker, i int)) {
+	workers := maxWorkers(n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := range next {
+				fn(worker, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

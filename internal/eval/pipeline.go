@@ -1,0 +1,58 @@
+package eval
+
+import (
+	"repro/internal/attack"
+	"repro/internal/box"
+	"repro/internal/defense"
+	"repro/internal/imaging"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// PipelineRow is one closed-loop scenario outcome.
+type PipelineRow struct {
+	Name   string
+	Result sim.Result
+}
+
+// PipelineScenarios runs the closed-loop ACC scenario three ways: clean,
+// under the runtime CAP-Attack, and under CAP-Attack with the median-blur
+// defense in front of the model. It demonstrates the safety consequence of
+// the Table I distance errors: the attacked ACC perceives a phantom gap
+// and accelerates into the braking lead vehicle.
+func PipelineScenarios(e *Env) []PipelineRow {
+	mkCfg := func() pipeline.Config {
+		cfg := pipeline.DefaultConfig(e.Reg)
+		cfg.Drive = e.DriveCfg
+		cfg.Seed = e.Preset.Seed + 900
+		return cfg
+	}
+
+	capAttacker := func() pipeline.Attacker {
+		// The closed-loop demo models a determined runtime attacker with a
+		// visible-but-stealthy budget rather than the Table I calibration.
+		cfg := capConfig(e.Budgets)
+		cfg.Eps = 0.12
+		c := attack.NewCAP(cfg)
+		obj := &attack.RegressionObjective{Reg: e.Reg.Clone()}
+		return pipeline.AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
+			return c.Apply(obj, img, leadBox)
+		})
+	}
+
+	rows := make([]PipelineRow, 0, 3)
+
+	clean := mkCfg()
+	rows = append(rows, PipelineRow{Name: "Clean", Result: pipeline.Run(clean)})
+
+	attacked := mkCfg()
+	attacked.Attacker = capAttacker()
+	rows = append(rows, PipelineRow{Name: "CAP-Attack", Result: pipeline.Run(attacked)})
+
+	defended := mkCfg()
+	defended.Attacker = capAttacker()
+	defended.Defense = defense.NewMedianBlur()
+	rows = append(rows, PipelineRow{Name: "CAP + Median Blurring", Result: pipeline.Run(defended)})
+
+	return rows
+}

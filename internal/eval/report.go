@@ -1,0 +1,127 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders Table I in the paper's layout.
+func (t TableI) Format() string {
+	var b strings.Builder
+	b.WriteString("TABLE I: Avg. errors at different ranges (m) under attack\n")
+	b.WriteString(fmt.Sprintf("%-14s %9s %9s %9s %9s\n", "Attack Method", "[0,20]", "[20,40]", "[40,60]", "[60,80]"))
+	for _, r := range t.Rows {
+		b.WriteString(fmt.Sprintf("%-14s %9.2f %9.2f %9.2f %9.2f\n",
+			displayKind(r.Attack), r.Errs[0], r.Errs[1], r.Errs[2], r.Errs[3]))
+	}
+	return b.String()
+}
+
+// Format renders Fig. 2 as the score table behind the bar chart.
+func (f Fig2) Format() string {
+	var b strings.Builder
+	b.WriteString("FIG 2: Performance of stop sign detection with or w/o attacks\n")
+	b.WriteString(fmt.Sprintf("%-14s %8s %10s %8s\n", "Attack", "mAP50", "Precision", "Recall"))
+	for _, r := range f.Rows {
+		b.WriteString(fmt.Sprintf("%-14s %8.2f %10.2f %8.2f\n",
+			displayKind(r.Attack), 100*r.Scores.MAP50, 100*r.Scores.Precision, 100*r.Scores.Recall))
+	}
+	return b.String()
+}
+
+// Format renders Table II in the paper's layout.
+func (t TableII) Format() string {
+	var b strings.Builder
+	b.WriteString("TABLE II: Performance after image processing\n")
+	b.WriteString(fmt.Sprintf("%-12s %-17s | %8s %8s %8s %8s | %7s %7s %7s\n",
+		"Attack", "Defense", "[0,20]", "[20,40]", "[40,60]", "[60,80]", "mAP50", "Prec.", "Recall"))
+	prev := Kind("")
+	for _, r := range t.Rows {
+		label := ""
+		if r.Attack != prev {
+			label = displayKind(r.Attack)
+			prev = r.Attack
+		}
+		b.WriteString(fmt.Sprintf("%-12s %-17s | %8.2f %8.2f %8.2f %8.2f | %7.2f %7.2f %7.2f\n",
+			label, r.Defense,
+			r.Errs[0], r.Errs[1], r.Errs[2], r.Errs[3],
+			100*r.Scores.MAP50, 100*r.Scores.Precision, 100*r.Scores.Recall))
+	}
+	return b.String()
+}
+
+// Format renders Table III in the paper's layout.
+func (t TableIII) Format() string {
+	var b strings.Builder
+	b.WriteString("TABLE III: Performance after adversarial training\n")
+	b.WriteString(fmt.Sprintf("%-12s %-12s | %8s %8s %8s %8s | %7s %7s %7s\n",
+		"Adv.Example", "Attack", "[0,20]", "[20,40]", "[40,60]", "[60,80]", "mAP50", "Prec.", "Recall"))
+	prev := Kind("")
+	for _, c := range t.Cells {
+		label := ""
+		if c.TrainOn != prev {
+			label = displayKind(c.TrainOn)
+			prev = c.TrainOn
+		}
+		reg := fmt.Sprintf("%8s %8s %8s %8s", "-", "-", "-", "-")
+		if c.HasReg {
+			reg = fmt.Sprintf("%8.2f %8.2f %8.2f %8.2f", c.Errs[0], c.Errs[1], c.Errs[2], c.Errs[3])
+		}
+		b.WriteString(fmt.Sprintf("%-12s %-12s | %s | %7.2f %7.2f %7.2f\n",
+			label, displayKind(c.TestOn), reg,
+			100*c.Scores.MAP50, 100*c.Scores.Precision, 100*c.Scores.Recall))
+	}
+	return b.String()
+}
+
+// Format renders Table IV in the paper's layout.
+func (t TableIV) Format() string {
+	var b strings.Builder
+	b.WriteString("TABLE IV: Performance after contrastive learning\n")
+	b.WriteString(fmt.Sprintf("%-12s %-14s %8s %10s %8s\n", "Adv.Example", "Attack", "mAP50", "Precision", "Recall"))
+	prev := Kind("")
+	for _, c := range t.Cells {
+		label := ""
+		if c.TrainOn != prev {
+			label = displayKind(c.TrainOn)
+			prev = c.TrainOn
+		}
+		test := displayKind(c.TestOn)
+		if c.TestOn == KindNone {
+			test = "Clean"
+		}
+		b.WriteString(fmt.Sprintf("%-12s %-14s %8.2f %10.2f %8.2f\n",
+			label, test, 100*c.Scores.MAP50, 100*c.Scores.Precision, 100*c.Scores.Recall))
+	}
+	return b.String()
+}
+
+// Format renders Table V in the paper's layout.
+func (t TableV) Format() string {
+	var b strings.Builder
+	b.WriteString("TABLE V: Performance after diffusion model cleaning\n")
+	b.WriteString(fmt.Sprintf("%-12s | %8s %8s %8s %8s | %7s %7s %7s\n",
+		"Attack", "[0,20]", "[20,40]", "[40,60]", "[60,80]", "mAP50", "Prec.", "Recall"))
+	for _, r := range t.Rows {
+		reg := fmt.Sprintf("%8s %8s %8s %8s", "-", "-", "-", "-")
+		if r.HasReg {
+			reg = fmt.Sprintf("%8.2f %8.2f %8.2f %8.2f", r.Errs[0], r.Errs[1], r.Errs[2], r.Errs[3])
+		}
+		b.WriteString(fmt.Sprintf("%-12s | %s | %7.2f %7.2f %7.2f\n",
+			displayKind(r.Attack), reg,
+			100*r.Scores.MAP50, 100*r.Scores.Precision, 100*r.Scores.Recall))
+	}
+	return b.String()
+}
+
+// displayKind maps harness kinds to the paper's row labels.
+func displayKind(k Kind) string {
+	switch k {
+	case KindCAP:
+		return "CAP/RP2"
+	case MixedKind:
+		return "Mixed"
+	default:
+		return string(k)
+	}
+}

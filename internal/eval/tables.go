@@ -1,0 +1,173 @@
+package eval
+
+import (
+	"repro/internal/defense"
+	"repro/internal/detect"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/regress"
+)
+
+// RangeErrs are the four mean signed errors (meters) in the paper's
+// distance buckets.
+type RangeErrs [4]float64
+
+// rangeErrsFrom evaluates attack-induced prediction shift per bucket:
+// pred(processed attacked frame) − pred(clean frame), averaged per range.
+func rangeErrsFrom(reg *regress.Regressor, env *Env, attacked []*imaging.Image, prep defense.Preprocessor) RangeErrs {
+	acc := metrics.NewRangeAccumulator(env.Ranges())
+	n := env.DriveTest.Len()
+	errs := make([]float64, n)
+	workers := make([]*regress.Regressor, maxWorkers(n))
+	for i := range workers {
+		workers[i] = reg.Clone()
+	}
+	parallelMap(n, func(w, i int) {
+		r := workers[w]
+		sc := env.DriveTest.Scenes[i]
+		img := attacked[i]
+		if prep != nil {
+			img = prep.Process(img)
+		}
+		errs[i] = r.Predict(img) - r.Predict(sc.Img)
+	})
+	for i, sc := range env.DriveTest.Scenes {
+		acc.Add(sc.Distance, errs[i])
+	}
+	var out RangeErrs
+	copy(out[:], acc.Means())
+	return out
+}
+
+// detScoresFrom evaluates detection metrics on (optionally defended)
+// attacked sign images against ground truth.
+func detScoresFrom(det *detect.Detector, env *Env, attacked []*imaging.Image, prep defense.Preprocessor) metrics.DetectionScores {
+	n := env.SignTestSet.Len()
+	evals := make([]metrics.ImageEval, n)
+	workers := make([]*detect.Detector, maxWorkers(n))
+	for i := range workers {
+		workers[i] = det.Clone()
+	}
+	parallelMap(n, func(w, i int) {
+		d := workers[w]
+		img := attacked[i]
+		if prep != nil {
+			img = prep.Process(img)
+		}
+		evals[i] = metrics.ImageEval{
+			Dets: d.Detect(img, 0.05),
+			GT:   detect.GTBoxes(env.SignTestSet.Scenes[i]),
+		}
+	})
+	return metrics.EvalDetections(evals, 0.5)
+}
+
+// TableIRow is one attack's mean error per distance range.
+type TableIRow struct {
+	Attack Kind
+	Errs   RangeErrs
+}
+
+// TableI reproduces "Avg. errors at different ranges (m) under attack".
+type TableI struct {
+	Rows []TableIRow
+}
+
+// RunTableI attacks the driving test set with each regression attack and
+// measures the induced prediction error per range.
+func (e *Env) RunTableI() TableI {
+	var t TableI
+	for _, kind := range RegressionKinds {
+		e.logf("table I: attacking with %s", kind)
+		attacked := e.AttackDriveSet(e.Reg, e.DriveTest, kind, e.Preset.Seed+100)
+		t.Rows = append(t.Rows, TableIRow{
+			Attack: kind,
+			Errs:   rangeErrsFrom(e.Reg, e, attacked, nil),
+		})
+	}
+	return t
+}
+
+// Fig2Row is one attack's detection scores.
+type Fig2Row struct {
+	Attack Kind
+	Scores metrics.DetectionScores
+}
+
+// Fig2 reproduces "Performance of stop sign detection with or w/o attacks".
+type Fig2 struct {
+	Rows []Fig2Row
+}
+
+// RunFig2 attacks the sign test set with each detection attack and
+// measures mAP@50 / precision / recall.
+func (e *Env) RunFig2() Fig2 {
+	var f Fig2
+	for _, kind := range DetectionKinds {
+		e.logf("fig 2: attacking with %s", kind)
+		attacked := e.AttackSignSet(e.Det, e.SignTestSet, kind, e.Preset.Seed+200)
+		f.Rows = append(f.Rows, Fig2Row{
+			Attack: kind,
+			Scores: detScoresFrom(e.Det, e, attacked, nil),
+		})
+	}
+	return f
+}
+
+// TableIIRow is one (attack, defense) cell group: regression range errors
+// plus detection scores after the preprocessing defense.
+type TableIIRow struct {
+	Attack  Kind // regression attack; detection uses pairedDetKind(Attack)
+	Defense string
+	Errs    RangeErrs
+	Scores  metrics.DetectionScores
+}
+
+// TableII reproduces "Performance after image processing".
+type TableII struct {
+	Rows []TableIIRow
+}
+
+// pairedDetKind maps a regression attack to the detection attack sharing
+// its table row: the paper reports "CAP/RP2" as one row, with CAP on the
+// regression task and RP2 on the detection task.
+func pairedDetKind(k Kind) Kind {
+	if k == KindCAP {
+		return KindRP2
+	}
+	return k
+}
+
+// preprocessors returns the Table II defense column in paper order.
+func (e *Env) preprocessors() []defense.Preprocessor {
+	return []defense.Preprocessor{
+		defense.None{},
+		defense.NewMedianBlur(),
+		defense.NewRandomization(e.Preset.Seed + 5),
+		defense.NewBitDepth(),
+	}
+}
+
+// RunTableII applies each preprocessing defense to each attack's outputs
+// on both tasks.
+func (e *Env) RunTableII() TableII {
+	var t TableII
+	for _, kind := range RegressionKinds {
+		e.logf("table II: attacking with %s", kind)
+		attackedDrive := e.AttackDriveSet(e.Reg, e.DriveTest, kind, e.Preset.Seed+300)
+		attackedSign := e.AttackSignSet(e.Det, e.SignTestSet, pairedDetKind(kind), e.Preset.Seed+301)
+		for _, prep := range e.preprocessors() {
+			var p defense.Preprocessor
+			if _, isNone := prep.(defense.None); !isNone {
+				p = prep
+			}
+			t.Rows = append(t.Rows, TableIIRow{
+				Attack:  kind,
+				Defense: prep.Name(),
+				Errs:    rangeErrsFrom(e.Reg, e, attackedDrive, p),
+				Scores:  detScoresFrom(e.Det, e, attackedSign, p),
+			})
+		}
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package imaging
+
+import (
+	"math"
+	"sort"
+)
+
+// MedianBlur replaces each pixel with the median of its k×k neighbourhood
+// (k odd, clamp-to-edge borders). Median filtering suppresses isolated
+// adversarial pixels while preserving edges, which is why it is the
+// strongest of the classical preprocessing defenses in the paper.
+func MedianBlur(im *Image, k int) *Image {
+	if k%2 == 0 {
+		panic("imaging: MedianBlur kernel must be odd")
+	}
+	r := k / 2
+	out := NewImage(im.C, im.H, im.W)
+	window := make([]float32, 0, k*k)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				window = window[:0]
+				for dy := -r; dy <= r; dy++ {
+					sy := clampInt(y+dy, 0, im.H-1)
+					for dx := -r; dx <= r; dx++ {
+						sx := clampInt(x+dx, 0, im.W-1)
+						window = append(window, im.At(c, sy, sx))
+					}
+				}
+				sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+				out.Set(c, y, x, window[len(window)/2])
+			}
+		}
+	}
+	return out
+}
+
+// BitDepthReduce quantises pixel values to the given number of bits per
+// channel (feature squeezing); quantisation floors small perturbations to
+// the nearest representable level.
+func BitDepthReduce(im *Image, bits int) *Image {
+	if bits < 1 || bits > 8 {
+		panic("imaging: BitDepthReduce bits must be in [1,8]")
+	}
+	levels := float32(int(1)<<bits - 1)
+	out := im.Clone()
+	for i, v := range out.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		out.Pix[i] = float32(math.Round(float64(v*levels))) / levels
+	}
+	return out
+}
+
+// GaussianBlur convolves each channel with a separable Gaussian kernel of
+// the given sigma (radius 3σ, clamp-to-edge).
+func GaussianBlur(im *Image, sigma float64) *Image {
+	if sigma <= 0 {
+		return im.Clone()
+	}
+	r := int(math.Ceil(3 * sigma))
+	kernel := make([]float32, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kernel[i+r] = float32(v)
+		sum += v
+	}
+	for i := range kernel {
+		kernel[i] = float32(float64(kernel[i]) / sum)
+	}
+
+	// Horizontal pass.
+	tmp := NewImage(im.C, im.H, im.W)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var acc float32
+				for i := -r; i <= r; i++ {
+					sx := clampInt(x+i, 0, im.W-1)
+					acc += kernel[i+r] * im.At(c, y, sx)
+				}
+				tmp.Set(c, y, x, acc)
+			}
+		}
+	}
+	// Vertical pass.
+	out := NewImage(im.C, im.H, im.W)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var acc float32
+				for i := -r; i <= r; i++ {
+					sy := clampInt(y+i, 0, im.H-1)
+					acc += kernel[i+r] * tmp.At(c, sy, x)
+				}
+				out.Set(c, y, x, acc)
+			}
+		}
+	}
+	return out
+}
+
+// BoxBlur is a cheap k×k mean filter (k odd), used by scene generation for
+// soft shadows and by tests as a smoothing reference.
+func BoxBlur(im *Image, k int) *Image {
+	if k%2 == 0 {
+		panic("imaging: BoxBlur kernel must be odd")
+	}
+	r := k / 2
+	out := NewImage(im.C, im.H, im.W)
+	norm := float32(1) / float32(k*k)
+	for c := 0; c < im.C; c++ {
+		for y := 0; y < im.H; y++ {
+			for x := 0; x < im.W; x++ {
+				var acc float32
+				for dy := -r; dy <= r; dy++ {
+					sy := clampInt(y+dy, 0, im.H-1)
+					for dx := -r; dx <= r; dx++ {
+						sx := clampInt(x+dx, 0, im.W-1)
+						acc += im.At(c, sy, sx)
+					}
+				}
+				out.Set(c, y, x, acc*norm)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// ReLU is the rectified linear activation, elementwise max(0, x).
+type ReLU struct {
+	lastIn *tensor.Tensor
+}
+
+var _ Layer = (*ReLU)(nil)
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	r.lastIn = x.Clone()
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = 0
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od := out.Data()
+	xd := r.lastIn.Data()
+	for i := range od {
+		if xd[i] <= 0 {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *ReLU) Clone() Layer { return &ReLU{} }
+
+// LeakyReLU is max(x, alpha*x); a small negative slope keeps gradients
+// flowing through inactive units, which stabilises the tiny detectors here.
+type LeakyReLU struct {
+	Alpha  float32
+	lastIn *tensor.Tensor
+}
+
+var _ Layer = (*LeakyReLU)(nil)
+
+// NewLeakyReLU returns a LeakyReLU with the given negative slope.
+func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
+
+// Forward implements Layer.
+func (r *LeakyReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	r.lastIn = x.Clone()
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		if v < 0 {
+			d[i] = r.Alpha * v
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od := out.Data()
+	xd := r.lastIn.Data()
+	for i := range od {
+		if xd[i] <= 0 {
+			od[i] *= r.Alpha
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *LeakyReLU) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (r *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: r.Alpha} }
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	lastOut *tensor.Tensor
+}
+
+var _ Layer = (*Tanh)(nil)
+
+// NewTanh returns a Tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = float32(math.Tanh(float64(v)))
+	}
+	t.lastOut = out.Clone()
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od := out.Data()
+	yd := t.lastOut.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (t *Tanh) Clone() Layer { return &Tanh{} }
+
+// Sigmoid is the logistic activation 1/(1+e^-x).
+type Sigmoid struct {
+	lastOut *tensor.Tensor
+}
+
+var _ Layer = (*Sigmoid)(nil)
+
+// NewSigmoid returns a Sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// SigmoidScalar applies the logistic function to a single value.
+func SigmoidScalar(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	out := x.Clone()
+	d := out.Data()
+	for i, v := range d {
+		d[i] = SigmoidScalar(v)
+	}
+	s.lastOut = out.Clone()
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	od := out.Data()
+	yd := s.lastOut.Data()
+	for i := range od {
+		od[i] *= yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
+
+// Flatten reshapes any input to a flat vector; backward restores the shape.
+type Flatten struct {
+	lastShape []int
+}
+
+var _ Layer = (*Flatten)(nil)
+
+// NewFlatten returns a Flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	f.lastShape = x.Shape()
+	return x.Reshape(x.Len())
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.lastShape...)
+}
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (f *Flatten) Clone() Layer { return &Flatten{} }

@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Conv2D is a 2-D convolution over CHW tensors implemented with im2col so
+// the inner loop is a single matrix multiply. Weights are stored as an
+// (outC)×(inC·K·K) matrix; bias is per output channel.
+type Conv2D struct {
+	InC, OutC   int
+	K           int
+	Stride, Pad int
+
+	w, b *Param
+
+	// Activation cache for Backward.
+	lastCols *tensor.Tensor
+	lastGeom tensor.ConvGeom
+}
+
+var _ Layer = (*Conv2D)(nil)
+
+// NewConv2D constructs a convolution with Xavier-initialised weights.
+func NewConv2D(rng *xrand.RNG, inC, outC, k, stride, pad int) *Conv2D {
+	w := tensor.New(outC, inC*k*k)
+	rng.Xavier(w.Data(), inC*k*k, outC)
+	b := tensor.New(outC)
+	return &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		w: newParam(fmt.Sprintf("conv%dx%d_w", inC, outC), w),
+		b: newParam(fmt.Sprintf("conv%dx%d_b", inC, outC), b),
+	}
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(0) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W), got %v", c.InC, x.Shape()))
+	}
+	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
+	cols := tensor.Im2Col(x, g)
+	out := tensor.MatMul(c.w.Value, cols) // (outC) x (oH*oW)
+	// Broadcast bias across spatial positions.
+	oHW := g.OutH() * g.OutW()
+	od := out.Data()
+	bd := c.b.Value.Data()
+	for ch := 0; ch < c.OutC; ch++ {
+		bias := bd[ch]
+		row := od[ch*oHW : (ch+1)*oHW]
+		for i := range row {
+			row[i] += bias
+		}
+	}
+	c.lastCols = cols
+	c.lastGeom = g
+	return out.Reshape(c.OutC, g.OutH(), g.OutW())
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := c.lastGeom
+	oHW := g.OutH() * g.OutW()
+	gm := grad.Reshape(c.OutC, oHW)
+
+	// dW += G · colsᵀ
+	colsT := tensor.Transpose2D(c.lastCols)
+	dW := tensor.MatMul(gm, colsT)
+	c.w.Grad.AddInPlace(dW)
+
+	// db += row sums of G.
+	gd := gm.Data()
+	bg := c.b.Grad.Data()
+	for ch := 0; ch < c.OutC; ch++ {
+		var s float32
+		for _, v := range gd[ch*oHW : (ch+1)*oHW] {
+			s += v
+		}
+		bg[ch] += s
+	}
+
+	// dX = col2im(Wᵀ · G)
+	wT := tensor.Transpose2D(c.w.Value)
+	dCols := tensor.MatMul(wT, gm)
+	return tensor.Col2Im(dCols, g)
+}
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// Clone implements Layer.
+func (c *Conv2D) Clone() Layer {
+	return &Conv2D{
+		InC: c.InC, OutC: c.OutC, K: c.K, Stride: c.Stride, Pad: c.Pad,
+		w: c.w.clone(), b: c.b.clone(),
+	}
+}

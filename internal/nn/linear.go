@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Linear is a fully connected layer y = Wx + b over flat vectors.
+type Linear struct {
+	In, Out int
+
+	w, b *Param
+
+	lastIn *tensor.Tensor
+}
+
+var _ Layer = (*Linear)(nil)
+
+// NewLinear constructs a dense layer with Xavier-initialised weights.
+func NewLinear(rng *xrand.RNG, in, out int) *Linear {
+	w := tensor.New(out, in)
+	rng.Xavier(w.Data(), in, out)
+	b := tensor.New(out)
+	return &Linear{
+		In: in, Out: out,
+		w: newParam(fmt.Sprintf("linear%dx%d_w", in, out), w),
+		b: newParam(fmt.Sprintf("linear%dx%d_b", in, out), b),
+	}
+}
+
+// Forward implements Layer. Inputs of any shape are accepted as long as the
+// element count matches In; they are treated as flat vectors.
+func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Len() != l.In {
+		panic(fmt.Sprintf("nn: Linear expects %d inputs, got shape %v", l.In, x.Shape()))
+	}
+	flat := x.Reshape(l.In)
+	l.lastIn = flat.Clone()
+	out := tensor.New(l.Out)
+	wd := l.w.Value.Data()
+	xd := flat.Data()
+	od := out.Data()
+	bd := l.b.Value.Data()
+	for o := 0; o < l.Out; o++ {
+		row := wd[o*l.In : (o+1)*l.In]
+		var s float32
+		for i, wv := range row {
+			s += wv * xd[i]
+		}
+		od[o] = s + bd[o]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	gd := grad.Data()
+	wd := l.w.Value.Data()
+	wg := l.w.Grad.Data()
+	bg := l.b.Grad.Data()
+	xd := l.lastIn.Data()
+
+	dx := tensor.New(l.In)
+	dxd := dx.Data()
+	for o := 0; o < l.Out; o++ {
+		g := gd[o]
+		bg[o] += g
+		row := wd[o*l.In : (o+1)*l.In]
+		grow := wg[o*l.In : (o+1)*l.In]
+		if g == 0 {
+			continue
+		}
+		for i := range row {
+			grow[i] += g * xd[i]
+			dxd[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *Linear) Params() []*Param { return []*Param{l.w, l.b} }
+
+// Clone implements Layer.
+func (l *Linear) Clone() Layer {
+	return &Linear{In: l.In, Out: l.Out, w: l.w.clone(), b: l.b.clone()}
+}

@@ -1,0 +1,138 @@
+// Package nn implements the minimal deep-learning stack the reproduction
+// needs: composable layers with explicit forward/backward passes, losses,
+// optimizers and parameter serialization.
+//
+// Design notes:
+//
+//   - Layers process one sample at a time (CHW tensors, no batch dimension).
+//     Trainers loop over a mini-batch accumulating parameter gradients; for
+//     the model sizes in this repository that is faster and far simpler than
+//     batched kernels, and it makes per-sample input gradients — the core
+//     primitive of every white-box attack — free.
+//   - Backward returns the gradient with respect to the layer input and
+//     accumulates parameter gradients, so a single Forward/Backward pair
+//     yields ∇x J for FGSM/PGD/RP2/CAP.
+//   - Layers cache activations between Forward and Backward, so a network
+//     instance is not safe for concurrent use. Clone() produces an
+//     independent copy (parameters deep-copied) for parallel evaluation.
+package nn
+
+import "repro/internal/tensor"
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// newParam allocates a parameter and a zeroed gradient of the same shape.
+func newParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// clone deep-copies the parameter (gradient reset to zero).
+func (p *Param) clone() *Param {
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: tensor.New(p.Value.Shape()...)}
+}
+
+// Layer is one differentiable stage of a network.
+type Layer interface {
+	// Forward computes the layer output for a single CHW (or flat) sample.
+	// train toggles train-time behaviour (e.g. dropout); inference and
+	// attack gradient computation both use train=false.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward consumes the gradient w.r.t. the layer output, accumulates
+	// parameter gradients, and returns the gradient w.r.t. the input.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+	// Clone returns an independent deep copy of the layer.
+	Clone() Layer
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	layers []Layer
+}
+
+// NewSequential builds a sequential network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{layers: layers}
+}
+
+// Append adds layers to the end of the network.
+func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+
+// Layers exposes the underlying layers (e.g. to split a backbone from a
+// head for contrastive fine-tuning). The returned slice is a copy.
+func (s *Sequential) Layers() []Layer {
+	out := make([]Layer, len(s.layers))
+	copy(out, s.layers)
+	return out
+}
+
+// Forward runs the full network on one sample.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates grad through all layers and returns the gradient with
+// respect to the network input.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all trainable parameters in layer order.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all accumulated parameter gradients.
+func (s *Sequential) ZeroGrad() {
+	for _, p := range s.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Clone returns an independent deep copy (separate parameters and
+// activation caches), safe to use from another goroutine.
+func (s *Sequential) Clone() *Sequential {
+	ls := make([]Layer, len(s.layers))
+	for i, l := range s.layers {
+		ls[i] = l.Clone()
+	}
+	return &Sequential{layers: ls}
+}
+
+// CopyParamsFrom copies parameter values from src into s. The two networks
+// must have identical architectures. Gradients are not copied.
+func (s *Sequential) CopyParamsFrom(src *Sequential) {
+	dst := s.Params()
+	from := src.Params()
+	if len(dst) != len(from) {
+		panic("nn: CopyParamsFrom architecture mismatch")
+	}
+	for i := range dst {
+		copy(dst[i].Value.Data(), from[i].Value.Data())
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Value.Len()
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// GroupNorm normalises CHW activations over groups of channels. Unlike
+// batch normalisation it needs no batch statistics, so it behaves
+// identically in training and inference and works with the per-sample
+// processing model of this package.
+type GroupNorm struct {
+	Groups int
+	C      int
+	Eps    float32
+
+	gamma, beta *Param
+
+	// Caches for Backward.
+	lastIn   *tensor.Tensor
+	lastNorm *tensor.Tensor // normalised activations (pre gamma/beta)
+	lastStd  []float32      // per-group sqrt(var+eps)
+}
+
+var _ Layer = (*GroupNorm)(nil)
+
+// NewGroupNorm builds a GroupNorm over c channels split into groups.
+// c must be divisible by groups.
+func NewGroupNorm(groups, c int) *GroupNorm {
+	if c%groups != 0 {
+		panic(fmt.Sprintf("nn: GroupNorm channels %d not divisible by groups %d", c, groups))
+	}
+	gamma := tensor.New(c)
+	gamma.Fill(1)
+	beta := tensor.New(c)
+	return &GroupNorm{
+		Groups: groups, C: c, Eps: 1e-5,
+		gamma: newParam(fmt.Sprintf("gn%d_gamma", c), gamma),
+		beta:  newParam(fmt.Sprintf("gn%d_beta", c), beta),
+	}
+}
+
+// Forward implements Layer.
+func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(0) != g.C {
+		panic(fmt.Sprintf("nn: GroupNorm expects (%d,H,W), got %v", g.C, x.Shape()))
+	}
+	h, w := x.Dim(1), x.Dim(2)
+	chPerG := g.C / g.Groups
+	n := chPerG * h * w
+
+	g.lastIn = x.Clone()
+	norm := tensor.New(g.C, h, w)
+	out := tensor.New(g.C, h, w)
+	g.lastStd = make([]float32, g.Groups)
+
+	xd := x.Data()
+	nd := norm.Data()
+	od := out.Data()
+	gd := g.gamma.Value.Data()
+	bd := g.beta.Value.Data()
+
+	for gi := 0; gi < g.Groups; gi++ {
+		lo := gi * chPerG * h * w
+		hi := lo + n
+		var mean float64
+		for _, v := range xd[lo:hi] {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var varSum float64
+		for _, v := range xd[lo:hi] {
+			d := float64(v) - mean
+			varSum += d * d
+		}
+		std := float32(math.Sqrt(varSum/float64(n) + float64(g.Eps)))
+		g.lastStd[gi] = std
+		for i := lo; i < hi; i++ {
+			nd[i] = (xd[i] - float32(mean)) / std
+		}
+		for c := gi * chPerG; c < (gi+1)*chPerG; c++ {
+			base := c * h * w
+			for i := 0; i < h*w; i++ {
+				od[base+i] = gd[c]*nd[base+i] + bd[c]
+			}
+		}
+	}
+	g.lastNorm = norm
+	return out
+}
+
+// Backward implements Layer.
+func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	h, w := g.lastIn.Dim(1), g.lastIn.Dim(2)
+	chPerG := g.C / g.Groups
+	n := chPerG * h * w
+
+	dx := tensor.New(g.C, h, w)
+	gradD := grad.Data()
+	nd := g.lastNorm.Data()
+	dxd := dx.Data()
+	gammaD := g.gamma.Value.Data()
+	gammaG := g.gamma.Grad.Data()
+	betaG := g.beta.Grad.Data()
+
+	// Parameter gradients: dgamma_c = Σ grad·norm over spatial, dbeta_c = Σ grad.
+	for c := 0; c < g.C; c++ {
+		base := c * h * w
+		var dg, db float32
+		for i := 0; i < h*w; i++ {
+			dg += gradD[base+i] * nd[base+i]
+			db += gradD[base+i]
+		}
+		gammaG[c] += dg
+		betaG[c] += db
+	}
+
+	// Input gradient per group:
+	// dx = (gamma*grad - mean(gamma*grad) - norm * mean(gamma*grad*norm)) / std
+	for gi := 0; gi < g.Groups; gi++ {
+		lo := gi * chPerG * h * w
+		std := g.lastStd[gi]
+		var sumDY, sumDYN float64
+		for c := gi * chPerG; c < (gi+1)*chPerG; c++ {
+			base := c * h * w
+			for i := 0; i < h*w; i++ {
+				dy := float64(gammaD[c] * gradD[base+i])
+				sumDY += dy
+				sumDYN += dy * float64(nd[base+i])
+			}
+		}
+		meanDY := float32(sumDY / float64(n))
+		meanDYN := float32(sumDYN / float64(n))
+		for c := gi * chPerG; c < (gi+1)*chPerG; c++ {
+			base := c * h * w
+			for i := 0; i < h*w; i++ {
+				dy := gammaD[c] * gradD[base+i]
+				dxd[base+i] = (dy - meanDY - nd[base+i]*meanDYN) / std
+			}
+		}
+		_ = lo
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (g *GroupNorm) Params() []*Param { return []*Param{g.gamma, g.beta} }
+
+// Clone implements Layer.
+func (g *GroupNorm) Clone() Layer {
+	return &GroupNorm{Groups: g.Groups, C: g.C, Eps: g.Eps, gamma: g.gamma.clone(), beta: g.beta.clone()}
+}

@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MaxPool2D downsamples CHW tensors by taking the maximum over non-
+// overlapping K×K windows (stride = K).
+type MaxPool2D struct {
+	K int
+
+	lastShape []int
+	lastArg   []int // flat input index of the max for each output element
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// NewMaxPool2D returns a max-pooling layer with window and stride k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Forward implements Layer.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: MaxPool2D expects CHW, got %v", x.Shape()))
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	oh, ow := h/m.K, w/m.K
+	if oh == 0 || ow == 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for %v", m.K, x.Shape()))
+	}
+	out := tensor.New(c, oh, ow)
+	m.lastShape = x.Shape()
+	m.lastArg = make([]int, c*oh*ow)
+	xd := x.Data()
+	od := out.Data()
+	for ch := 0; ch < c; ch++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				best := float32(0)
+				bestIdx := -1
+				for ky := 0; ky < m.K; ky++ {
+					iy := oy*m.K + ky
+					for kx := 0; kx < m.K; kx++ {
+						ix := ox*m.K + kx
+						idx := (ch*h+iy)*w + ix
+						if bestIdx == -1 || xd[idx] > best {
+							best, bestIdx = xd[idx], idx
+						}
+					}
+				}
+				oidx := (ch*oh+oy)*ow + ox
+				od[oidx] = best
+				m.lastArg[oidx] = bestIdx
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(m.lastShape...)
+	dxd := dx.Data()
+	gd := grad.Data()
+	for i, src := range m.lastArg {
+		dxd[src] += gd[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (m *MaxPool2D) Clone() Layer { return &MaxPool2D{K: m.K} }
+
+// Upsample2x doubles spatial resolution by nearest-neighbour repetition;
+// the decoder half of the diffusion UNet uses it.
+type Upsample2x struct {
+	lastShape []int
+}
+
+var _ Layer = (*Upsample2x)(nil)
+
+// NewUpsample2x returns a 2× nearest-neighbour upsampling layer.
+func NewUpsample2x() *Upsample2x { return &Upsample2x{} }
+
+// Forward implements Layer.
+func (u *Upsample2x) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() != 3 {
+		panic(fmt.Sprintf("nn: Upsample2x expects CHW, got %v", x.Shape()))
+	}
+	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
+	u.lastShape = x.Shape()
+	out := tensor.New(c, h*2, w*2)
+	xd := x.Data()
+	od := out.Data()
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			row := xd[(ch*h+y)*w : (ch*h+y+1)*w]
+			o0 := (ch*h*2 + y*2) * w * 2
+			o1 := o0 + w*2
+			for xi, v := range row {
+				od[o0+2*xi] = v
+				od[o0+2*xi+1] = v
+				od[o1+2*xi] = v
+				od[o1+2*xi+1] = v
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (u *Upsample2x) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c, h, w := u.lastShape[0], u.lastShape[1], u.lastShape[2]
+	dx := tensor.New(c, h, w)
+	gd := grad.Data()
+	dxd := dx.Data()
+	w2 := w * 2
+	for ch := 0; ch < c; ch++ {
+		for y := 0; y < h; y++ {
+			g0 := (ch*h*2 + y*2) * w2
+			g1 := g0 + w2
+			drow := dxd[(ch*h+y)*w : (ch*h+y+1)*w]
+			for xi := range drow {
+				drow[xi] = gd[g0+2*xi] + gd[g0+2*xi+1] + gd[g1+2*xi] + gd[g1+2*xi+1]
+			}
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (u *Upsample2x) Params() []*Param { return nil }
+
+// Clone implements Layer.
+func (u *Upsample2x) Clone() Layer { return &Upsample2x{} }

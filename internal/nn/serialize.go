@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// savedParam is the on-disk form of one parameter tensor.
+type savedParam struct {
+	Name  string
+	Shape []int
+	Data  []float32
+}
+
+// SaveParams writes all parameter values to w in declaration order using
+// encoding/gob. The architecture itself is not serialized; callers must
+// reconstruct the same network before loading.
+func SaveParams(w io.Writer, params []*Param) error {
+	out := make([]savedParam, len(params))
+	for i, p := range params {
+		out[i] = savedParam{Name: p.Name, Shape: p.Value.Shape(), Data: p.Value.Data()}
+	}
+	if err := gob.NewEncoder(w).Encode(out); err != nil {
+		return fmt.Errorf("encode params: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads parameter values written by SaveParams into params.
+// Count and shapes must match exactly.
+func LoadParams(r io.Reader, params []*Param) error {
+	var in []savedParam
+	if err := gob.NewDecoder(r).Decode(&in); err != nil {
+		return fmt.Errorf("decode params: %w", err)
+	}
+	if len(in) != len(params) {
+		return fmt.Errorf("param count mismatch: file has %d, network has %d", len(in), len(params))
+	}
+	for i, sp := range in {
+		p := params[i]
+		if p.Value.Len() != len(sp.Data) {
+			return fmt.Errorf("param %d (%s): size %d vs file %d", i, p.Name, p.Value.Len(), len(sp.Data))
+		}
+		copy(p.Value.Data(), sp.Data)
+	}
+	return nil
+}
+
+// SaveParamsFile saves parameters to a file path.
+func SaveParamsFile(path string, params []*Param) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return SaveParams(f, params)
+}
+
+// LoadParamsFile loads parameters from a file path.
+func LoadParamsFile(path string, params []*Param) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("open %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
+	return LoadParams(f, params)
+}

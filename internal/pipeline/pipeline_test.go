@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/box"
+	"repro/internal/dataset"
+	"repro/internal/defense"
+	"repro/internal/imaging"
+	"repro/internal/regress"
+	"repro/internal/scene"
+	"repro/internal/xrand"
+)
+
+var (
+	regOnce sync.Once
+	reg     *regress.Regressor
+)
+
+func trainedReg(t testing.TB) *regress.Regressor {
+	t.Helper()
+	regOnce.Do(func() {
+		rng := xrand.New(55)
+		cfg := scene.DefaultDriveConfig()
+		set := dataset.GenerateDriveSet(rng.Split(), cfg, 150, cfg.MinZ, cfg.MaxZ)
+		reg = regress.New(rng.Split(), cfg.Size)
+		rc := regress.DefaultTrainConfig()
+		rc.Epochs = 10
+		reg.Train(set, rc)
+	})
+	return reg
+}
+
+func TestCleanLoopIsSafe(t *testing.T) {
+	cfg := DefaultConfig(trainedReg(t))
+	res := Run(cfg)
+	if res.Collision {
+		t.Fatal("clean pipeline must not collide in the default scenario")
+	}
+	if len(res.Times) == 0 || len(res.TrueGaps) != len(res.PerceivedGaps) {
+		t.Fatal("telemetry incomplete")
+	}
+	if res.MinGap <= 0 {
+		t.Fatalf("min gap %v", res.MinGap)
+	}
+}
+
+func TestPerceptionTracksTruth(t *testing.T) {
+	cfg := DefaultConfig(trainedReg(t))
+	res := Run(cfg)
+	var worst float64
+	for i := range res.TrueGaps {
+		d := res.PerceivedGaps[i] - res.TrueGaps[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 30 {
+		t.Fatalf("perception diverged from truth by %.1f m", worst)
+	}
+}
+
+func TestAttackerDegradesSafety(t *testing.T) {
+	r := trainedReg(t)
+	clean := Run(DefaultConfig(r))
+
+	attacked := DefaultConfig(r)
+	obj := &attack.RegressionObjective{Reg: r.Clone()}
+	attacked.Attacker = AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
+		if leadBox.Empty() {
+			return img
+		}
+		mask := attack.BoxMask(img.C, img.H, img.W, leadBox, 1)
+		return attack.FGSM(obj, img, 0.08, mask)
+	})
+	adv := Run(attacked)
+
+	// Inflating the perceived gap must not leave safety unaffected: either
+	// the minimum gap shrinks or a collision occurs.
+	if !adv.Collision && adv.MinGap >= clean.MinGap-0.5 {
+		t.Fatalf("attack had no safety effect: clean min gap %.2f, attacked %.2f", clean.MinGap, adv.MinGap)
+	}
+}
+
+func TestDefenseHookRuns(t *testing.T) {
+	r := trainedReg(t)
+	cfg := DefaultConfig(r)
+	cfg.Defense = defense.NewMedianBlur()
+	res := Run(cfg)
+	if len(res.Times) == 0 {
+		t.Fatal("defended run produced no telemetry")
+	}
+}
+
+func TestAttackerFuncAdapter(t *testing.T) {
+	called := false
+	f := AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
+		called = true
+		return img
+	})
+	img := imaging.NewRGB(4, 4)
+	if f.Apply(img, box.Box{}) != img || !called {
+		t.Fatal("AttackerFunc adapter broken")
+	}
+}

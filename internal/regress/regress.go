@@ -1,0 +1,164 @@
+// Package regress implements DistNet, the convolutional lead-vehicle
+// distance regressor standing in for the relative-distance output of
+// OpenPilot's Supercombo model. The network maps a rendered driving frame
+// to a scalar distance in meters (trained on a normalised target so the
+// output head stays well-conditioned across the 4–90 m range).
+package regress
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/imaging"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+	"repro/internal/xrand"
+)
+
+// Regressor is the DistNet model.
+type Regressor struct {
+	Net     *nn.Sequential
+	Size    int     // input image side (pixels)
+	MaxDist float64 // normalisation constant: output 1.0 == MaxDist meters
+}
+
+// New builds a DistNet for size×size RGB inputs.
+func New(rng *xrand.RNG, size int) *Regressor {
+	if size%8 != 0 {
+		panic(fmt.Sprintf("regress: size %d must be divisible by 8", size))
+	}
+	g := size / 8
+	net := nn.NewSequential(
+		nn.NewConv2D(rng, 3, 12, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, 12, 24, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewConv2D(rng, 24, 32, 3, 2, 1),
+		nn.NewLeakyReLU(0.1),
+		nn.NewFlatten(),
+		nn.NewLinear(rng, 32*g*g, 48),
+		nn.NewLeakyReLU(0.1),
+		nn.NewLinear(rng, 48, 1),
+	)
+	return &Regressor{Net: net, Size: size, MaxDist: 100}
+}
+
+// Clone returns an independent copy for concurrent use.
+func (r *Regressor) Clone() *Regressor {
+	return &Regressor{Net: r.Net.Clone(), Size: r.Size, MaxDist: r.MaxDist}
+}
+
+// Predict returns the predicted distance in meters.
+func (r *Regressor) Predict(img *imaging.Image) float64 {
+	out := r.Net.Forward(img.Tensor(), false)
+	return float64(out.Data()[0]) * r.MaxDist
+}
+
+// DistanceGrad returns the gradient of the predicted distance with respect
+// to the input pixels — the primitive the regression attacks ascend to push
+// the prediction toward larger (or smaller) distances.
+func (r *Regressor) DistanceGrad(img *imaging.Image) (pred float64, grad *tensor.Tensor) {
+	out := r.Net.Forward(img.Tensor(), false)
+	pred = float64(out.Data()[0]) * r.MaxDist
+	seed := tensor.New(1)
+	seed.Data()[0] = 1 // d(pred_norm)/d(out) = 1
+	r.Net.ZeroGrad()
+	grad = r.Net.Backward(seed)
+	return pred, grad
+}
+
+// TrainConfig controls regressor training.
+type TrainConfig struct {
+	Epochs int
+	Batch  int
+	LR     float32
+	Seed   int64
+	Logf   func(format string, args ...any)
+}
+
+// DefaultTrainConfig returns settings that fit DistNet to a few meters of
+// RMS error over the synthetic driving distribution.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{Epochs: 30, Batch: 16, LR: 2e-3, Seed: 2}
+}
+
+// Train fits the regressor on a driving set and returns final epoch loss
+// (MSE in normalised units).
+func (r *Regressor) Train(set *dataset.DriveSet, cfg TrainConfig) float64 {
+	imgs := make([]*imaging.Image, set.Len())
+	dists := make([]float64, set.Len())
+	for i, sc := range set.Scenes {
+		imgs[i] = sc.Img
+		dists[i] = sc.Distance
+	}
+	return r.TrainImages(imgs, dists, cfg)
+}
+
+// TrainImages fits on explicit image/distance pairs (the adversarial-
+// training defense passes perturbed frames).
+func (r *Regressor) TrainImages(imgs []*imaging.Image, dists []float64, cfg TrainConfig) float64 {
+	rng := xrand.New(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	idx := make([]int, len(imgs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		epochLoss = 0
+		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
+			r.Net.ZeroGrad()
+			for _, bi := range batch {
+				k := idx[bi]
+				out := r.Net.Forward(imgs[k].Tensor(), true)
+				target := tensor.New(1)
+				target.Data()[0] = float32(dists[k] / r.MaxDist)
+				loss, grad := nn.MSE(out, target)
+				epochLoss += loss
+				r.Net.Backward(grad)
+			}
+			scaleGrads(r.Net.Params(), 1/float32(len(batch)))
+			nn.ClipGradNorm(r.Net.Params(), 10)
+			opt.Step(r.Net.Params())
+		}
+		epochLoss /= float64(len(imgs))
+		if cfg.Logf != nil {
+			cfg.Logf("regress: epoch %d/%d loss %.6f", epoch+1, cfg.Epochs, epochLoss)
+		}
+	}
+	return epochLoss
+}
+
+// RMSE returns the root-mean-square prediction error in meters over a set.
+func (r *Regressor) RMSE(set *dataset.DriveSet) float64 {
+	var sq float64
+	for _, sc := range set.Scenes {
+		d := r.Predict(sc.Img) - sc.Distance
+		sq += d * d
+	}
+	return math.Sqrt(sq / float64(set.Len()))
+}
+
+// RangeErrors evaluates the attack-induced prediction shift per distance
+// bucket: for every scene it compares the prediction on attacked(img)
+// against the prediction on the clean image, exactly the paper's Table I
+// protocol ("predicted relative distances under attack ... compared to the
+// predictions on clean images in each frame").
+func (r *Regressor) RangeErrors(set *dataset.DriveSet, buckets [][2]float64, attacked func(i int) *imaging.Image) *metrics.RangeAccumulator {
+	acc := metrics.NewRangeAccumulator(buckets)
+	for i, sc := range set.Scenes {
+		clean := r.Predict(sc.Img)
+		adv := r.Predict(attacked(i))
+		acc.Add(sc.Distance, adv-clean)
+	}
+	return acc
+}
+
+func scaleGrads(params []*nn.Param, s float32) {
+	for _, p := range params {
+		p.Grad.ScaleInPlace(s)
+	}
+}

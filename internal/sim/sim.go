@@ -1,0 +1,109 @@
+// Package sim provides the longitudinal vehicle simulation and the
+// adaptive-cruise-control (ACC) controller that close the loop around the
+// distance-regression model, standing in for the OpenPilot Level-2 stack
+// whose Supercombo output the paper attacks. The simulator exposes the
+// safety measures (minimum gap, minimum time-to-collision, collision flag)
+// that make the consequence of a perception attack observable.
+package sim
+
+import "math"
+
+// ACCConfig parameterises the ACC controller.
+type ACCConfig struct {
+	TimeGap  float64 // desired time headway in seconds
+	MinGap   float64 // standstill gap in meters
+	MaxAccel float64 // acceleration limit, m/s²
+	MaxBrake float64 // braking limit (positive), m/s²
+	Kp       float64 // gap error gain
+	Kv       float64 // relative speed gain
+}
+
+// DefaultACCConfig returns a conservative production-like tuning.
+func DefaultACCConfig() ACCConfig {
+	return ACCConfig{
+		TimeGap: 1.6, MinGap: 4, MaxAccel: 1.5, MaxBrake: 3.5,
+		Kp: 0.25, Kv: 0.8,
+	}
+}
+
+// ACC computes ego acceleration commands from the perceived gap and an
+// estimate of the relative speed (perceived gap derivative).
+type ACC struct {
+	Cfg ACCConfig
+}
+
+// Accel returns the commanded ego acceleration for a perceived gap,
+// ego speed and perceived relative speed (lead − ego, positive = opening).
+func (a *ACC) Accel(gap, egoSpeed, relSpeed float64) float64 {
+	desired := a.Cfg.MinGap + a.Cfg.TimeGap*egoSpeed
+	u := a.Cfg.Kp*(gap-desired) + a.Cfg.Kv*relSpeed
+	return clamp(u, -a.Cfg.MaxBrake, a.Cfg.MaxAccel)
+}
+
+// State is the longitudinal world state: ego and lead positions along the
+// same lane and their speeds.
+type State struct {
+	EgoPos    float64
+	EgoSpeed  float64
+	LeadPos   float64
+	LeadSpeed float64
+}
+
+// Gap returns the bumper-to-bumper distance.
+func (s State) Gap() float64 { return s.LeadPos - s.EgoPos }
+
+// TTC returns the time to collision (+Inf when the gap is opening).
+func (s State) TTC() float64 {
+	closing := s.EgoSpeed - s.LeadSpeed
+	if closing <= 0 {
+		return math.Inf(1)
+	}
+	return s.Gap() / closing
+}
+
+// Result aggregates a closed-loop run.
+type Result struct {
+	Times         []float64
+	TrueGaps      []float64
+	PerceivedGaps []float64
+	EgoSpeeds     []float64
+	LeadSpeeds    []float64
+
+	MinGap    float64
+	MinTTC    float64
+	Collision bool
+}
+
+// Simulation advances the two-vehicle world with simple kinematics.
+type Simulation struct {
+	State State
+	DT    float64
+}
+
+// NewSimulation starts the world with the given initial gap and speeds.
+func NewSimulation(initGap, egoSpeed, leadSpeed, dt float64) *Simulation {
+	return &Simulation{
+		State: State{EgoPos: 0, EgoSpeed: egoSpeed, LeadPos: initGap, LeadSpeed: leadSpeed},
+		DT:    dt,
+	}
+}
+
+// Step advances one tick with the given ego and lead accelerations.
+// Speeds are floored at zero (no reversing).
+func (s *Simulation) Step(egoAccel, leadAccel float64) {
+	st := &s.State
+	st.EgoPos += st.EgoSpeed*s.DT + 0.5*egoAccel*s.DT*s.DT
+	st.EgoSpeed = math.Max(0, st.EgoSpeed+egoAccel*s.DT)
+	st.LeadPos += st.LeadSpeed*s.DT + 0.5*leadAccel*s.DT*s.DT
+	st.LeadSpeed = math.Max(0, st.LeadSpeed+leadAccel*s.DT)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestACCMaintainsGapInSteadyState(t *testing.T) {
+	acc := ACC{Cfg: DefaultACCConfig()}
+	world := NewSimulation(40, 25, 25, 0.05)
+	for i := 0; i < 2000; i++ {
+		st := world.State
+		a := acc.Accel(st.Gap(), st.EgoSpeed, st.LeadSpeed-st.EgoSpeed)
+		world.Step(a, 0)
+	}
+	st := world.State
+	desired := acc.Cfg.MinGap + acc.Cfg.TimeGap*st.EgoSpeed
+	if math.Abs(st.Gap()-desired) > 3 {
+		t.Fatalf("steady-state gap %.2f, want ~%.2f", st.Gap(), desired)
+	}
+	if math.Abs(st.EgoSpeed-st.LeadSpeed) > 0.5 {
+		t.Fatalf("speeds did not converge: ego %.2f lead %.2f", st.EgoSpeed, st.LeadSpeed)
+	}
+}
+
+func TestACCBrakesWhenLeadStops(t *testing.T) {
+	acc := ACC{Cfg: DefaultACCConfig()}
+	world := NewSimulation(50, 25, 25, 0.05)
+	collided := false
+	for i := 0; i < 4000; i++ {
+		st := world.State
+		if st.Gap() <= 0 {
+			collided = true
+			break
+		}
+		a := acc.Accel(st.Gap(), st.EgoSpeed, st.LeadSpeed-st.EgoSpeed)
+		leadA := 0.0
+		if i > 100 && st.LeadSpeed > 0 {
+			leadA = -4
+		}
+		world.Step(a, leadA)
+	}
+	if collided {
+		t.Fatal("ACC with truthful perception must not collide in this scenario")
+	}
+	if world.State.EgoSpeed > 0.5 {
+		t.Fatalf("ego should have stopped behind the lead, speed %.2f", world.State.EgoSpeed)
+	}
+}
+
+func TestACCAccelClamped(t *testing.T) {
+	cfg := DefaultACCConfig()
+	acc := ACC{Cfg: cfg}
+	if a := acc.Accel(1000, 0, 15); a != cfg.MaxAccel {
+		t.Fatalf("huge gap accel %v, want clamp at %v", a, cfg.MaxAccel)
+	}
+	if a := acc.Accel(1, 40, -15); a != -cfg.MaxBrake {
+		t.Fatalf("tiny gap accel %v, want clamp at %v", a, -cfg.MaxBrake)
+	}
+}
+
+func TestInflatedPerceptionCausesCollision(t *testing.T) {
+	// The attack model of the paper: the perceived gap is inflated, so the
+	// controller accelerates into a braking lead.
+	acc := ACC{Cfg: DefaultACCConfig()}
+	world := NewSimulation(30, 25, 25, 0.05)
+	collided := false
+	for i := 0; i < 4000; i++ {
+		st := world.State
+		if st.Gap() <= 0 {
+			collided = true
+			break
+		}
+		perceived := st.Gap() + 40 // adversarially inflated
+		a := acc.Accel(perceived, st.EgoSpeed, 0)
+		leadA := 0.0
+		if i > 100 && st.LeadSpeed > 0 {
+			leadA = -4
+		}
+		world.Step(a, leadA)
+	}
+	if !collided {
+		t.Fatal("inflated perception should cause a collision in this scenario")
+	}
+}
+
+func TestStepKinematics(t *testing.T) {
+	world := NewSimulation(20, 10, 12, 0.1)
+	world.Step(1, -1)
+	st := world.State
+	if math.Abs(st.EgoSpeed-10.1) > 1e-9 {
+		t.Fatalf("ego speed %v, want 10.1", st.EgoSpeed)
+	}
+	if math.Abs(st.LeadSpeed-11.9) > 1e-9 {
+		t.Fatalf("lead speed %v, want 11.9", st.LeadSpeed)
+	}
+	wantGap := 20 + (12*0.1 - 0.5*1*0.01) - (10*0.1 + 0.5*1*0.01)
+	if math.Abs(st.Gap()-wantGap) > 1e-9 {
+		t.Fatalf("gap %v, want %v", st.Gap(), wantGap)
+	}
+}
+
+func TestSpeedsFloorAtZero(t *testing.T) {
+	world := NewSimulation(20, 0.1, 0.1, 1)
+	world.Step(-5, -5)
+	if world.State.EgoSpeed != 0 || world.State.LeadSpeed != 0 {
+		t.Fatal("speeds must floor at zero (no reversing)")
+	}
+}
+
+func TestTTC(t *testing.T) {
+	st := State{EgoPos: 0, EgoSpeed: 20, LeadPos: 30, LeadSpeed: 10}
+	if got := st.TTC(); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("TTC %v, want 3", got)
+	}
+	opening := State{EgoPos: 0, EgoSpeed: 10, LeadPos: 30, LeadSpeed: 20}
+	if !math.IsInf(opening.TTC(), 1) {
+		t.Fatal("opening gap must give +Inf TTC")
+	}
+}

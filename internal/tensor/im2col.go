@@ -1,0 +1,105 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution over a CHW tensor.
+// It is shared by the forward im2col transform and the backward col2im
+// scatter so the two always agree.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	K             int // square kernel size
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height implied by the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width implied by the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// Validate reports an error for geometries that would produce an empty
+// output or are otherwise malformed.
+func (g ConvGeom) Validate() error {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 {
+		return fmt.Errorf("conv geom: non-positive input dims %+v", g)
+	}
+	if g.K <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		return fmt.Errorf("conv geom: bad kernel/stride/pad %+v", g)
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		return fmt.Errorf("conv geom: empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col unrolls a CHW input tensor into a matrix of shape
+// (InC*K*K) × (OutH*OutW), so convolution becomes a single MatMul with the
+// (OutC)×(InC*K*K) weight matrix. Out-of-bounds taps (padding) read as 0.
+func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	rows := g.InC * g.K * g.K
+	cols := outH * outW
+	out := New(rows, cols)
+	xd := x.data
+	od := out.data
+	for c := 0; c < g.InC; c++ {
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				row := (c*g.K+ky)*g.K + kx
+				base := row * cols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						continue // stays zero
+					}
+					srcRow := (c*g.InH + iy) * g.InW
+					dstRow := base + oy*outW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						od[dstRow+ox] = xd[srcRow+ix]
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im scatters a column matrix (the gradient of an Im2Col output) back
+// into a CHW tensor, accumulating where kernel windows overlap. It is the
+// exact adjoint of Im2Col, which is what backpropagation requires.
+func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	nCols := outH * outW
+	x := New(g.InC, g.InH, g.InW)
+	cd := cols.data
+	xd := x.data
+	for c := 0; c < g.InC; c++ {
+		for ky := 0; ky < g.K; ky++ {
+			for kx := 0; kx < g.K; kx++ {
+				row := (c*g.K+ky)*g.K + kx
+				base := row * nCols
+				for oy := 0; oy < outH; oy++ {
+					iy := oy*g.Stride - g.Pad + ky
+					if iy < 0 || iy >= g.InH {
+						continue
+					}
+					srcRow := base + oy*outW
+					dstRow := (c*g.InH + iy) * g.InW
+					for ox := 0; ox < outW; ox++ {
+						ix := ox*g.Stride - g.Pad + kx
+						if ix < 0 || ix >= g.InW {
+							continue
+						}
+						xd[dstRow+ix] += cd[srcRow+ox]
+					}
+				}
+			}
+		}
+	}
+	return x
+}

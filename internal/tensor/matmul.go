@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of result rows below which MatMul runs
+// single-threaded; goroutine fan-out costs more than it saves on tiny
+// matrices (the common case for the small heads in this repository).
+const parallelThreshold = 32
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns a
+// new m×n tensor. Rows of C are computed in parallel across GOMAXPROCS
+// workers when m is large enough to amortise goroutine startup.
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul needs rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims %d vs %d", k, k2))
+	}
+	c := New(m, n)
+	matMulInto(c.data, a.data, b.data, m, k, n)
+	return c
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if b.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto shapes %v = %v x %v", dst.shape, a.shape, b.shape))
+	}
+	matMulInto(dst.data, a.data, b.data, m, k, n)
+}
+
+func matMulInto(c, a, b []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && m < parallelThreshold && n >= 4*parallelThreshold && m*k*n >= 1<<17 {
+		// Short-and-wide product (the conv im2col shape): split columns.
+		matMulCols(c, a, b, m, k, n, workers)
+		return
+	}
+	if m < parallelThreshold || workers <= 1 {
+		matMulRows(c, a, b, 0, m, k, n)
+		return
+	}
+	if workers > m {
+		workers = m
+	}
+	rowsPer := (m + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * rowsPer
+		hi := lo + rowsPer
+		if hi > m {
+			hi = m
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			matMulRows(c, a, b, lo, hi, k, n)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulCols splits the column range of C across workers; each worker runs
+// the same ikj kernel restricted to its column window.
+func matMulCols(c, a, b []float32, m, k, n, workers int) {
+	colsPer := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * colsPer
+		hi := lo + colsPer
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := 0; i < m; i++ {
+				ci := c[i*n+lo : i*n+hi]
+				for x := range ci {
+					ci[x] = 0
+				}
+				for l := 0; l < k; l++ {
+					av := a[i*k+l]
+					if av == 0 {
+						continue
+					}
+					bl := b[l*n+lo : l*n+hi]
+					for j, bv := range bl {
+						ci[j] += av * bv
+					}
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// matMulRows computes rows [lo,hi) of C using an ikj loop order so the inner
+// loop streams through B and C rows sequentially (cache friendly, and the
+// compiler can keep the scalar a[i][l] in a register).
+func matMulRows(c, a, b []float32, lo, hi, k, n int) {
+	for i := lo; i < hi; i++ {
+		ci := c[i*n : (i+1)*n]
+		for x := range ci {
+			ci[x] = 0
+		}
+		for l := 0; l < k; l++ {
+			av := a[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bl := b[l*n : (l+1)*n]
+			for j, bv := range bl {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose2D returns the transpose of a 2-D tensor as a new tensor.
+func Transpose2D(t *Tensor) *Tensor {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2D needs rank 2, got %v", t.shape))
+	}
+	m, n := t.shape[0], t.shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.data[j*m+i] = t.data[i*n+j]
+		}
+	}
+	return out
+}

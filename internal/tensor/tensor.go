@@ -1,0 +1,316 @@
+// Package tensor implements the dense float32 tensor used by the neural
+// network stack. Tensors are row-major and mutable; operations either write
+// into the receiver, into a destination tensor, or return a fresh tensor —
+// each method documents which. The package is deliberately small: the models
+// in this repository only need elementwise algebra, matrix multiplication,
+// im2col-based convolution support and a handful of reductions.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, row-major float32 array with an explicit shape.
+// The zero value is an empty tensor; use New or helpers to construct one.
+type Tensor struct {
+	shape []int
+	data  []float32
+}
+
+// New returns a zero-filled tensor with the given shape.
+// It panics on a non-positive dimension, since a malformed shape is a
+// programming error rather than a runtime condition.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float32, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape without copying.
+// The caller must not alias data elsewhere unless that sharing is intended.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: shape %v wants %d elements, data has %d", shape, n, len(data)))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Shape returns the tensor's dimensions. The returned slice is a copy.
+func (t *Tensor) Shape() []int {
+	s := make([]int, len(t.shape))
+	copy(s, t.shape)
+	return s
+}
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float32 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view over the same storage with a new shape.
+// The element count must match.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: reshape %v -> %v changes element count", t.shape, shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 { return t.data[t.offset(idx)] }
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) { t.data[t.offset(idx)] = v }
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d vs shape rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of bounds for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) assertSame(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Zero sets all elements to 0 in place.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v in place.
+func (t *Tensor) Fill(v float32) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// AddInPlace adds o elementwise into t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.assertSame(o, "add")
+	for i := range t.data {
+		t.data[i] += o.data[i]
+	}
+	return t
+}
+
+// SubInPlace subtracts o elementwise from t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	t.assertSame(o, "sub")
+	for i := range t.data {
+		t.data[i] -= o.data[i]
+	}
+	return t
+}
+
+// MulInPlace multiplies t by o elementwise (Hadamard product).
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	t.assertSame(o, "mul")
+	for i := range t.data {
+		t.data[i] *= o.data[i]
+	}
+	return t
+}
+
+// ScaleInPlace multiplies every element by s.
+func (t *Tensor) ScaleInPlace(s float32) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScaledInPlace performs t += s*o, the axpy primitive used by optimizers.
+func (t *Tensor) AddScaledInPlace(o *Tensor, s float32) *Tensor {
+	t.assertSame(o, "addScaled")
+	for i := range t.data {
+		t.data[i] += s * o.data[i]
+	}
+	return t
+}
+
+// Add returns t + o as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor { return t.Clone().AddInPlace(o) }
+
+// Sub returns t - o as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor { return t.Clone().SubInPlace(o) }
+
+// Mul returns the elementwise product as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor { return t.Clone().MulInPlace(o) }
+
+// Scale returns s*t as a new tensor.
+func (t *Tensor) Scale(s float32) *Tensor { return t.Clone().ScaleInPlace(s) }
+
+// ClampInPlace clips every element to [lo, hi].
+func (t *Tensor) ClampInPlace(lo, hi float32) *Tensor {
+	for i, v := range t.data {
+		if v < lo {
+			t.data[i] = lo
+		} else if v > hi {
+			t.data[i] = hi
+		}
+	}
+	return t
+}
+
+// SignInPlace replaces each element with its sign (-1, 0, +1).
+func (t *Tensor) SignInPlace() *Tensor {
+	for i, v := range t.data {
+		switch {
+		case v > 0:
+			t.data[i] = 1
+		case v < 0:
+			t.data[i] = -1
+		default:
+			t.data[i] = 0
+		}
+	}
+	return t
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for accuracy).
+func (t *Tensor) Sum() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += float64(v)
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements.
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the largest element. It panics on an empty tensor.
+func (t *Tensor) Max() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the smallest element. It panics on an empty tensor.
+func (t *Tensor) Min() float32 {
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index (into flattened storage) of the largest element.
+func (t *Tensor) ArgMax() int {
+	best, bi := t.data[0], 0
+	for i, v := range t.data {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	t.assertSame(o, "dot")
+	var s float64
+	for i := range t.data {
+		s += float64(t.data[i]) * float64(o.data[i])
+	}
+	return s
+}
+
+// L2Norm returns the Euclidean norm of the flattened tensor.
+func (t *Tensor) L2Norm() float64 { return math.Sqrt(t.Dot(t)) }
+
+// L1Norm returns the sum of absolute values.
+func (t *Tensor) L1Norm() float64 {
+	var s float64
+	for _, v := range t.data {
+		s += math.Abs(float64(v))
+	}
+	return s
+}
+
+// LInfNorm returns the maximum absolute value.
+func (t *Tensor) LInfNorm() float64 {
+	var m float64
+	for _, v := range t.data {
+		a := math.Abs(float64(v))
+		if a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v(n=%d, mean=%.4g)", t.shape, len(t.data), t.Mean())
+}
