@@ -70,6 +70,19 @@ type (
 	Preset = eval.Preset
 	// Kind names one attack in the harness.
 	Kind = eval.Kind
+
+	// Scenario is a named closed-loop lead maneuver.
+	Scenario = pipeline.Scenario
+	// MatrixConfig declares a scenario × attack × defense grid.
+	MatrixConfig = eval.MatrixConfig
+	// MatrixCell is one executed grid point with its safety metrics.
+	MatrixCell = eval.MatrixCell
+	// MatrixReport aggregates a grid run (text/markdown/CSV formatting).
+	MatrixReport = eval.MatrixReport
+	// AttackSpec is a named runtime-attacker factory for matrix cells.
+	AttackSpec = eval.AttackSpec
+	// DefenseSpec is a named defense factory for matrix cells.
+	DefenseSpec = eval.DefenseSpec
 )
 
 // Attack kinds, re-exported for harness callers.
@@ -156,3 +169,10 @@ func RunPipeline(cfg pipeline.Config) sim.Result { return pipeline.Run(cfg) }
 func DefaultPipelineConfig(reg *Regressor) pipeline.Config {
 	return pipeline.DefaultConfig(reg)
 }
+
+// Scenarios returns the registry of named closed-loop lead maneuvers, the
+// scenario axis of the evaluation matrix (env.RunMatrix).
+func Scenarios() []Scenario { return pipeline.Scenarios() }
+
+// FindScenario returns the registered scenario with the given name.
+func FindScenario(name string) (Scenario, bool) { return pipeline.FindScenario(name) }

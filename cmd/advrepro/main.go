@@ -6,6 +6,12 @@
 // Usage:
 //
 //	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
+//	advrepro matrix [-preset quick|paper] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-md grid.md] [-out report.txt]
+//
+// The matrix subcommand expands the scenario registry against the runtime
+// attack and defense axes ({none, CAP, FGSM} x {none, median blur,
+// DiffPIR}) and executes every cell in parallel with deterministic
+// per-cell seeds.
 package main
 
 import (
@@ -18,12 +24,105 @@ import (
 	"time"
 
 	"repro/internal/eval"
+	"repro/internal/pipeline"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	args := os.Args[1:]
+	var err error
+	if len(args) > 0 && args[0] == "matrix" {
+		err = runMatrix(args[1:], os.Stdout)
+	} else {
+		err = run(args, os.Stdout)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runMatrix drives the scenario-matrix engine: scenario x attack x defense
+// grid over the closed-loop ACC pipeline.
+func runMatrix(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro matrix", flag.ContinueOnError)
+	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
+	scenarios := fs.String("scenarios", "", "comma-separated scenario names (default: full registry)")
+	duration := fs.Float64("duration", 0, "override scenario duration in seconds (0 = default)")
+	dt := fs.Float64("dt", 0, "override control period in seconds (0 = default)")
+	csvPath := fs.String("csv", "", "optional file for the CSV grid")
+	mdPath := fs.String("md", "", "optional file for the markdown grid")
+	out := fs.String("out", "", "optional file to copy the text report to")
+	verbose := fs.Bool("v", false, "log harness progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := presetByName(*preset)
+	if err != nil {
+		return err
+	}
+
+	cfg := eval.MatrixConfig{Duration: *duration, DT: *dt}
+	if *scenarios != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, ok := pipeline.FindScenario(name)
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (registry: %s)", name, scenarioNames())
+			}
+			cfg.Scenarios = append(cfg.Scenarios, sc)
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(stdout, "== advrepro matrix: preset=%s ==\n", p.Name)
+	env := eval.NewEnv(p)
+	if *verbose {
+		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
+	}
+	fmt.Fprintf(stdout, "victims trained in %v; running grid...\n\n", time.Since(start).Round(time.Second))
+
+	rep := env.RunMatrix(cfg)
+	report := rep.Format()
+	fmt.Fprintln(stdout, report)
+	fmt.Fprintf(stdout, "matrix: %d cells in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(rep.CSV()), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(rep.Markdown()), 0o644); err != nil {
+			return fmt.Errorf("write markdown: %w", err)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// presetByName resolves the shared -preset flag value.
+func presetByName(name string) (eval.Preset, error) {
+	switch name {
+	case "quick":
+		return eval.Quick(), nil
+	case "paper":
+		return eval.Paper(), nil
+	default:
+		return eval.Preset{}, fmt.Errorf("unknown preset %q", name)
+	}
+}
+
+// scenarioNames lists the registry for error messages.
+func scenarioNames() string {
+	var names []string
+	for _, s := range pipeline.Scenarios() {
+		names = append(names, s.Name)
+	}
+	return strings.Join(names, ", ")
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -36,14 +135,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	var p eval.Preset
-	switch *preset {
-	case "quick":
-		p = eval.Quick()
-	case "paper":
-		p = eval.Paper()
-	default:
-		return fmt.Errorf("unknown preset %q", *preset)
+	p, err := presetByName(*preset)
+	if err != nil {
+		return err
 	}
 
 	var sink io.Writer = stdout

@@ -90,6 +90,9 @@ func TestChainName(t *testing.T) {
 }
 
 func TestMedianBlurMitigatesNoiseAttack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short (the -race CI job)")
+	}
 	setup(t)
 	rng := xrand.New(5)
 	blur := NewMedianBlur()
@@ -277,6 +280,9 @@ func TestUNetGradientCheck(t *testing.T) {
 }
 
 func TestDiffusionTrainReducesLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short (the -race CI job)")
+	}
 	setup(t)
 	cfg := DefaultDiffusionConfig()
 	cfg.TrainSteps = 60
@@ -317,6 +323,9 @@ func TestDiffusionTrainReducesLoss(t *testing.T) {
 }
 
 func TestDiffPIRRestoreShapeAndRange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-heavy; skipped in -short (the -race CI job)")
+	}
 	setup(t)
 	cfg := DefaultDiffusionConfig()
 	cfg.TrainSteps = 30

@@ -1,10 +1,7 @@
 package eval
 
 import (
-	"repro/internal/attack"
-	"repro/internal/box"
 	"repro/internal/defense"
-	"repro/internal/imaging"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 )
@@ -28,17 +25,9 @@ func PipelineScenarios(e *Env) []PipelineRow {
 		return cfg
 	}
 
-	capAttacker := func() pipeline.Attacker {
-		// The closed-loop demo models a determined runtime attacker with a
-		// visible-but-stealthy budget rather than the Table I calibration.
-		cfg := capConfig(e.Budgets)
-		cfg.Eps = 0.12
-		c := attack.NewCAP(cfg)
-		obj := &attack.RegressionObjective{Reg: e.Reg.Clone()}
-		return pipeline.AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
-			return c.Apply(obj, img, leadBox)
-		})
-	}
+	// The closed-loop demo models a determined runtime attacker with a
+	// visible-but-stealthy budget rather than the Table I calibration.
+	capAttacker := func() pipeline.Attacker { return capRuntimeAttacker(e, e.Reg) }
 
 	rows := make([]PipelineRow, 0, 3)
 

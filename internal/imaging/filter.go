@@ -58,10 +58,22 @@ func BitDepthReduce(im *Image, bits int) *Image {
 // GaussianBlur convolves each channel with a separable Gaussian kernel of
 // the given sigma (radius 3σ, clamp-to-edge).
 func GaussianBlur(im *Image, sigma float64) *Image {
-	if sigma <= 0 {
+	// The negated comparison also catches NaN, which would otherwise
+	// produce a garbage kernel radius below; the second clause catches a
+	// sigma so small that 2σ² underflows to zero, which would make the
+	// kernel center 0/0 = NaN. Either way the blur is an identity.
+	if !(sigma > 0) || 2*sigma*sigma == 0 {
 		return im.Clone()
 	}
-	r := int(math.Ceil(3 * sigma))
+	// Cap the radius at the image extent before the int conversion: past
+	// that point a wider kernel only flattens the (already near-uniform)
+	// result, while an unbounded sigma (up to +Inf) would overflow the
+	// conversion or attempt an enormous allocation.
+	rf := math.Ceil(3 * sigma)
+	if limit := float64(max(im.H, im.W)); rf > limit {
+		rf = limit
+	}
+	r := int(rf)
 	kernel := make([]float32, 2*r+1)
 	var sum float64
 	for i := -r; i <= r; i++ {

@@ -1,0 +1,144 @@
+package imaging
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// fuzzImage builds a small image with pseudo-random pixels; out-of-range
+// values are included deliberately since attacks can push pixels outside
+// [0,1] before a defense filter sees them.
+func fuzzImage(h, w uint8, seed int64, wild bool) *Image {
+	im := NewRGB(int(h)%12+1, int(w)%12+1)
+	rng := xrand.New(seed)
+	for i := range im.Pix {
+		if wild {
+			im.Pix[i] = float32(rng.Uniform(-0.5, 1.5))
+		} else {
+			im.Pix[i] = rng.Float32()
+		}
+	}
+	return im
+}
+
+// channelBounds returns the min/max pixel value per channel.
+func channelBounds(im *Image, c int) (lo, hi float32) {
+	plane := im.Pix[c*im.H*im.W : (c+1)*im.H*im.W]
+	lo, hi = plane[0], plane[0]
+	for _, v := range plane {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+func FuzzMedianBlur(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(1), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(0), int64(2))
+	f.Add(uint8(7), uint8(11), uint8(2), int64(3))
+	f.Fuzz(func(t *testing.T, h, w, kRaw uint8, seed int64) {
+		im := fuzzImage(h, w, seed, false)
+		k := int(kRaw)%3*2 + 1 // 1, 3 or 5: kernel must be odd
+		out := MedianBlur(im, k)
+		if out.C != im.C || out.H != im.H || out.W != im.W {
+			t.Fatalf("shape changed: %dx%dx%d -> %dx%dx%d", im.C, im.H, im.W, out.C, out.H, out.W)
+		}
+		// A median is always one of the input samples: every output value
+		// must exist somewhere in the same input channel.
+		for c := 0; c < im.C; c++ {
+			plane := im.Pix[c*im.H*im.W : (c+1)*im.H*im.W]
+			for i, v := range out.Pix[c*im.H*im.W : (c+1)*im.H*im.W] {
+				found := false
+				for _, u := range plane {
+					if u == v {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("output pixel %d in channel %d (%v) is not an input sample", i, c, v)
+				}
+			}
+		}
+	})
+}
+
+func FuzzBitDepthReduce(f *testing.F) {
+	f.Add(uint8(4), uint8(6), uint8(4), int64(1))
+	f.Add(uint8(2), uint8(2), uint8(1), int64(9))
+	f.Add(uint8(9), uint8(3), uint8(8), int64(5))
+	f.Fuzz(func(t *testing.T, h, w, bitsRaw uint8, seed int64) {
+		im := fuzzImage(h, w, seed, true)
+		bits := int(bitsRaw)%8 + 1
+		out := BitDepthReduce(im, bits)
+		levels := float32(int(1)<<bits - 1)
+		for i, v := range out.Pix {
+			if v < 0 || v > 1 {
+				t.Fatalf("pixel %d out of range: %v", i, v)
+			}
+			q := v * levels
+			if diff := q - float32(int(q+0.5)); diff > 1e-4 || diff < -1e-4 {
+				t.Fatalf("pixel %d not on a quantisation level: %v (bits=%d)", i, v, bits)
+			}
+		}
+		// Quantisation must be idempotent.
+		again := BitDepthReduce(out, bits)
+		if out.MeanAbsDiff(again) != 0 {
+			t.Fatal("BitDepthReduce not idempotent")
+		}
+	})
+}
+
+func FuzzGaussianBlur(f *testing.F) {
+	f.Add(uint8(5), uint8(5), float64(1.0), int64(1))
+	f.Add(uint8(1), uint8(8), float64(0.3), int64(2))
+	f.Add(uint8(10), uint8(2), float64(-1), int64(3))
+	f.Add(uint8(3), uint8(3), math.Inf(1), int64(4))
+	f.Add(uint8(4), uint8(4), math.NaN(), int64(5))
+	f.Fuzz(func(t *testing.T, h, w uint8, sigma float64, seed int64) {
+		im := fuzzImage(h, w, seed, false)
+		out := GaussianBlur(im, sigma)
+		if out.C != im.C || out.H != im.H || out.W != im.W {
+			t.Fatal("shape changed")
+		}
+		// A normalised non-negative kernel yields convex combinations:
+		// output stays within the input's per-channel range (+ float slop).
+		const eps = 1e-4
+		for c := 0; c < im.C; c++ {
+			lo, hi := channelBounds(im, c)
+			for i, v := range out.Pix[c*im.H*im.W : (c+1)*im.H*im.W] {
+				if v < lo-eps || v > hi+eps {
+					t.Fatalf("channel %d pixel %d escaped input range: %v not in [%v,%v]", c, i, v, lo, hi)
+				}
+			}
+		}
+	})
+}
+
+func FuzzBoxBlur(f *testing.F) {
+	f.Add(uint8(4), uint8(4), uint8(1), int64(1))
+	f.Add(uint8(6), uint8(2), uint8(2), int64(7))
+	f.Fuzz(func(t *testing.T, h, w, kRaw uint8, seed int64) {
+		im := fuzzImage(h, w, seed, false)
+		k := int(kRaw)%3*2 + 1
+		out := BoxBlur(im, k)
+		if out.C != im.C || out.H != im.H || out.W != im.W {
+			t.Fatal("shape changed")
+		}
+		const eps = 1e-4
+		for c := 0; c < im.C; c++ {
+			lo, hi := channelBounds(im, c)
+			for i, v := range out.Pix[c*im.H*im.W : (c+1)*im.H*im.W] {
+				if v < lo-eps || v > hi+eps {
+					t.Fatalf("channel %d pixel %d escaped input range: %v not in [%v,%v]", c, i, v, lo, hi)
+				}
+			}
+		}
+	})
+}

@@ -48,6 +48,12 @@ type Config struct {
 	// LeadAccel gives the lead vehicle's acceleration over time, the
 	// scenario script (e.g. a hard-brake event).
 	LeadAccel func(t float64) float64
+	// LeadLateral optionally scripts the lead vehicle's lateral offset
+	// (meters off lane center) over time; nil keeps the renderer's frozen
+	// offset. Cut-in scenarios use it to slide the lead into the ego
+	// lane. Rendering-only: the simulation stays longitudinal, so safety
+	// metrics treat the lead as in-lane regardless of the offset.
+	LeadLateral func(t float64) float64
 
 	Seed int64
 }
@@ -98,7 +104,12 @@ func Run(cfg Config) sim.Result {
 		}
 
 		// Perception.
-		frame := renderer.Render(trueGap)
+		var frame scene.DriveScene
+		if cfg.LeadLateral != nil {
+			frame = renderer.RenderAt(trueGap, cfg.LeadLateral(t))
+		} else {
+			frame = renderer.Render(trueGap)
+		}
 		img := frame.Img
 		if cfg.Attacker != nil {
 			img = cfg.Attacker.Apply(img, frame.LeadBox)

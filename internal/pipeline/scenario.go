@@ -1,0 +1,144 @@
+package pipeline
+
+import "math"
+
+// Scenario is a named, declarative closed-loop driving maneuver: a config
+// mutator that sets the initial kinematics (and scene appearance, e.g.
+// lighting) plus the lead vehicle's acceleration script. Scenarios are the
+// rows of the attack × defense evaluation matrix; adding one here makes it
+// visible to the matrix runner, the advrepro CLI and the facade.
+type Scenario struct {
+	Name        string
+	Description string
+	// Mutate adjusts the base pipeline config (initial gap and speeds,
+	// duration, drive-scene appearance). It runs after DefaultConfig, so
+	// it only needs to state what differs from the cruise baseline.
+	Mutate func(cfg *Config)
+	// LeadAccel is the lead vehicle's acceleration script (m/s² over
+	// seconds since scenario start).
+	LeadAccel func(t float64) float64
+	// LeadLateral optionally scripts the lead's lateral offset in meters
+	// off lane center (nil = frozen renderer offset). The offset affects
+	// only what the camera sees: the underlying simulation is purely
+	// longitudinal, so gap/TTC/collision metrics treat the lead as
+	// in-lane for the whole run. Keep cut-in scripts merged well before
+	// the longitudinal gap gets critical.
+	LeadLateral func(t float64) float64
+}
+
+// Apply returns the base config specialised to the scenario.
+func (s Scenario) Apply(cfg Config) Config {
+	if s.Mutate != nil {
+		s.Mutate(&cfg)
+	}
+	if s.LeadAccel != nil {
+		cfg.LeadAccel = s.LeadAccel
+	}
+	if s.LeadLateral != nil {
+		cfg.LeadLateral = s.LeadLateral
+	}
+	return cfg
+}
+
+// constAccel returns a script holding the given acceleration forever.
+func constAccel(a float64) func(t float64) float64 {
+	return func(float64) float64 { return a }
+}
+
+// brakePulse returns a script braking at -decel for [from, to) seconds.
+func brakePulse(from, to, decel float64) func(t float64) float64 {
+	return func(t float64) float64 {
+		if t >= from && t < to {
+			return -decel
+		}
+		return 0
+	}
+}
+
+// Scenarios returns the registry of named lead maneuvers, the scenario
+// axis of the evaluation matrix. The list covers steady cruising, two
+// braking severities, congested stop-and-go, a cut-in with a scripted
+// lateral slide, and a low-visibility night variant of the emergency
+// brake — the system-level diversity Wang et al. argue attack impact
+// must be judged over.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name:        "highway-cruise",
+			Description: "steady 30 m/s cruise, lead holds speed",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 45
+				cfg.EgoSpeed, cfg.LeadSpeed = 31, 30
+			},
+			LeadAccel: constAccel(0),
+		},
+		{
+			Name:        "gentle-brake",
+			Description: "lead brakes -2.5 m/s² for 3 s mid-run",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 35
+				cfg.EgoSpeed, cfg.LeadSpeed = 27, 25
+			},
+			LeadAccel: brakePulse(4, 7, 2.5),
+		},
+		{
+			Name:        "hard-brake",
+			Description: "emergency stop: lead brakes -5 m/s² until stationary",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 40
+				cfg.EgoSpeed, cfg.LeadSpeed = 28, 27
+			},
+			LeadAccel: brakePulse(3, 9, 5),
+		},
+		{
+			Name:        "stop-and-go",
+			Description: "congested traffic: lead alternates braking and pulling away",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 20
+				cfg.EgoSpeed, cfg.LeadSpeed = 14, 12
+			},
+			LeadAccel: func(t float64) float64 {
+				// ~6 s wave: brake for half the cycle, accelerate the rest.
+				return 2.2 * math.Sin(2*math.Pi*t/6)
+			},
+		},
+		{
+			Name:        "cut-in",
+			Description: "lead slides from the adjacent lane into the ego lane, then brakes",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 25
+				cfg.EgoSpeed, cfg.LeadSpeed = 25, 22
+			},
+			LeadAccel: brakePulse(5, 7, 2),
+			LeadLateral: func(t float64) float64 {
+				// Start one lane over (≈3.2 m) and merge to center by t=3 s.
+				const merge = 3.0
+				if t >= merge {
+					return 0
+				}
+				return 3.2 * (1 - t/merge)
+			},
+		},
+		{
+			Name:        "night-brake",
+			Description: "hard brake under low-visibility night lighting",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 38
+				cfg.EgoSpeed, cfg.LeadSpeed = 26, 25
+				cfg.Drive.BrightMin, cfg.Drive.BrightMax = 0.35, 0.5
+				cfg.Drive.Noise *= 2 // sensor noise dominates in the dark
+			},
+			LeadAccel: brakePulse(4, 8, 4),
+		},
+	}
+}
+
+// FindScenario returns the registered scenario with the given name.
+func FindScenario(name string) (Scenario, bool) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}

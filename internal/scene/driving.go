@@ -36,6 +36,30 @@ type DriveConfig struct {
 	MinZ      float64 // closest generated lead distance
 	MaxZ      float64 // farthest generated lead distance
 	Noise     float64 // sensor noise std dev
+
+	// BrightMin/BrightMax bound the sampled global illumination for
+	// closed-loop renderers. A zero value selects that bound's daylight
+	// default (0.85 / 1.05) independently; low-visibility scenario
+	// variants narrow the range toward darkness.
+	BrightMin float64
+	BrightMax float64
+}
+
+// brightRange returns the illumination sampling bounds, applying the
+// daylight default for each bound the config leaves unset. An inverted
+// range collapses onto its upper bound rather than panicking.
+func (cfg DriveConfig) brightRange() (lo, hi float64) {
+	lo, hi = cfg.BrightMin, cfg.BrightMax
+	if lo == 0 {
+		lo = 0.85
+	}
+	if hi == 0 {
+		hi = 1.05
+	}
+	if lo > hi {
+		lo = hi
+	}
+	return lo, hi
 }
 
 // DefaultDriveConfig returns the configuration used across the experiments.
@@ -225,18 +249,26 @@ type Renderer struct {
 
 // NewRenderer samples the frozen appearance once from rng.
 func NewRenderer(rng *xrand.RNG, cfg DriveConfig) *Renderer {
+	lo, hi := cfg.brightRange()
 	return &Renderer{
 		Cfg:     cfg,
 		rng:     rng,
 		body:    carPalette[rng.Intn(len(carPalette))],
 		lateral: rng.Uniform(-0.3, 0.3),
-		bright:  float32(rng.Uniform(0.85, 1.05)),
+		bright:  float32(rng.Uniform(lo, hi)),
 	}
 }
 
 // Render draws the frame for the given true lead distance.
 func (r *Renderer) Render(dist float64) DriveScene {
 	return generateDriveFixed(r.rng, r.Cfg, dist, r.lateral, r.body, r.bright)
+}
+
+// RenderAt draws the frame with an explicit lateral offset (meters off
+// lane center), overriding the frozen one; cut-in scenarios script the
+// lead vehicle sliding into the ego lane this way.
+func (r *Renderer) RenderAt(dist, lateral float64) DriveScene {
+	return generateDriveFixed(r.rng, r.Cfg, dist, lateral, r.body, r.bright)
 }
 
 // generateDriveFixed renders a frame with externally fixed appearance.

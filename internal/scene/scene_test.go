@@ -179,3 +179,57 @@ func TestDriveSceneFarDistanceDegenerates(t *testing.T) {
 		}
 	}
 }
+
+func TestRendererRenderAtLateral(t *testing.T) {
+	cfg := DefaultDriveConfig()
+	cfg.Noise = 0
+	r := NewRenderer(xrand.New(6), cfg)
+	center := r.RenderAt(20, 0)
+	offset := r.RenderAt(20, 1.5)
+	if center.LeadBox.Empty() || offset.LeadBox.Empty() {
+		t.Fatal("lead must be visible at 20 m")
+	}
+	cx := (center.LeadBox.X0 + center.LeadBox.X1) / 2
+	ox := (offset.LeadBox.X0 + offset.LeadBox.X1) / 2
+	if ox <= cx {
+		t.Fatalf("positive lateral offset must shift the lead right: %v vs %v", cx, ox)
+	}
+}
+
+func TestBrightRange(t *testing.T) {
+	cfg := DefaultDriveConfig()
+	lo, hi := cfg.brightRange()
+	if lo != 0.85 || hi != 1.05 {
+		t.Fatalf("unset bounds must select daylight defaults, got [%v,%v]", lo, hi)
+	}
+	cfg.BrightMin, cfg.BrightMax = 0.35, 0.5
+	lo, hi = cfg.brightRange()
+	if lo != 0.35 || hi != 0.5 {
+		t.Fatalf("explicit bounds ignored: [%v,%v]", lo, hi)
+	}
+	cfg.BrightMin, cfg.BrightMax = 0.5, 0 // bounds default independently
+	if lo, hi = cfg.brightRange(); lo != 0.5 || hi != 1.05 {
+		t.Fatalf("raising only the floor must keep the default ceiling: [%v,%v]", lo, hi)
+	}
+	cfg.BrightMin, cfg.BrightMax = 0.4, 0.2 // inverted: clamp, don't panic
+	if lo, hi = cfg.brightRange(); lo != hi || hi != 0.2 {
+		t.Fatalf("inverted bounds must collapse onto the ceiling: [%v,%v]", lo, hi)
+	}
+}
+
+func TestNightConfigDarkensScene(t *testing.T) {
+	day := DefaultDriveConfig()
+	day.Noise = 0
+	night := day
+	night.BrightMin, night.BrightMax = 0.35, 0.5
+	dayScene := NewRenderer(xrand.New(3), day).Render(25)
+	nightScene := NewRenderer(xrand.New(3), night).Render(25)
+	var dsum, nsum float64
+	for i := range dayScene.Img.Pix {
+		dsum += float64(dayScene.Img.Pix[i])
+		nsum += float64(nightScene.Img.Pix[i])
+	}
+	if nsum >= dsum {
+		t.Fatalf("night scene must be darker: day %.1f vs night %.1f", dsum, nsum)
+	}
+}

@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// mustPanicIff runs fn and fails the test unless fn panics exactly when
+// wantPanic is set; the fuzz targets use it to pin the package's
+// index/shape contract (panic on malformed input, never silent corruption).
+func mustPanicIff(t *testing.T, wantPanic bool, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if wantPanic && r == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+		if !wantPanic && r != nil {
+			t.Fatalf("%s: unexpected panic: %v", what, r)
+		}
+	}()
+	fn()
+}
+
+func FuzzTensorIndex(f *testing.F) {
+	f.Add(uint8(2), uint8(3), uint8(4), int16(1), int16(2), int16(3))
+	f.Add(uint8(1), uint8(1), uint8(1), int16(0), int16(0), int16(0))
+	f.Add(uint8(5), uint8(2), uint8(7), int16(-1), int16(0), int16(6))
+	f.Add(uint8(3), uint8(3), uint8(3), int16(3), int16(2), int16(2))
+	f.Fuzz(func(t *testing.T, d0, d1, d2 uint8, i0, i1, i2 int16) {
+		dims := []int{int(d0)%6 + 1, int(d1)%6 + 1, int(d2)%6 + 1}
+		tt := New(dims...)
+		if tt.Len() != dims[0]*dims[1]*dims[2] {
+			t.Fatalf("Len %d for shape %v", tt.Len(), dims)
+		}
+
+		idx := []int{int(i0), int(i1), int(i2)}
+		inBounds := true
+		for k := range idx {
+			if idx[k] < 0 || idx[k] >= dims[k] {
+				inBounds = false
+			}
+		}
+		mustPanicIff(t, !inBounds, "At", func() { tt.At(idx...) })
+		mustPanicIff(t, !inBounds, "Set", func() { tt.Set(1, idx...) })
+		// Rank-mismatched indexing must panic regardless of values.
+		mustPanicIff(t, true, "At rank", func() { tt.At(idx[0], idx[1]) })
+
+		if inBounds {
+			// A single Set touches exactly one storage slot.
+			n := 0
+			for _, v := range tt.Data() {
+				if v != 0 {
+					n++
+				}
+			}
+			if n != 1 || tt.At(idx...) != 1 {
+				t.Fatalf("Set/At inconsistent at %v in shape %v", idx, dims)
+			}
+		}
+	})
+}
+
+func FuzzTensorReshape(f *testing.F) {
+	f.Add(uint8(2), uint8(6), uint8(3), uint8(4))
+	f.Add(uint8(1), uint8(1), uint8(1), uint8(1))
+	f.Add(uint8(4), uint8(4), uint8(2), uint8(5))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint8) {
+		m, n := int(a)%8+1, int(b)%8+1
+		p, q := int(c)%8+1, int(d)%8+1
+		tt := New(m, n)
+		ok := m*n == p*q
+		mustPanicIff(t, !ok, "Reshape", func() {
+			v := tt.Reshape(p, q)
+			// A reshape is a view: writes through it land in the original.
+			v.Set(7, p-1, q-1)
+			if tt.Data()[m*n-1] != 7 {
+				t.Fatal("reshape must share storage")
+			}
+		})
+	})
+}
+
+func FuzzFromSlice(f *testing.F) {
+	f.Add(uint8(6), uint8(2), uint8(3))
+	f.Add(uint8(5), uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, length, d0, d1 uint8) {
+		n := int(length) % 65
+		m, k := int(d0)%8+1, int(d1)%8+1
+		data := make([]float32, n)
+		mustPanicIff(t, n != m*k, "FromSlice", func() {
+			tt := FromSlice(data, m, k)
+			if tt.Len() != n {
+				t.Fatalf("FromSlice Len %d, want %d", tt.Len(), n)
+			}
+		})
+	})
+}
+
+// naiveMatMul is the reference ijk implementation the parallel kernels
+// must agree with bit-for-bit (same per-element accumulation order).
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for l := 0; l < k; l++ {
+			av := a.Data()[i*k+l]
+			if av == 0 {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				c.Data()[i*n+j] += av * b.Data()[l*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func fillSeq(t *Tensor) {
+	for i := range t.Data() {
+		t.Data()[i] = float32(i%13) * 0.25
+	}
+}
+
+// TestMatMulFanOutBitIdentical drives both fan-out paths (row split and
+// the short-and-wide column split) and checks bit-identical results
+// against the serial reference, at several GOMAXPROCS settings.
+func TestMatMulFanOutBitIdentical(t *testing.T) {
+	shapes := [][3]int{
+		{64, 48, 40}, // row-split path (m >= parallelThreshold)
+		{8, 64, 512}, // column-split path (short and wide, m*k*n >= 1<<17)
+		{3, 5, 7},    // serial path
+		{33, 1, 129}, // row split, degenerate inner dim
+	}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for _, s := range shapes {
+			a, b := New(s[0], s[1]), New(s[1], s[2])
+			fillSeq(a)
+			fillSeq(b)
+			got := MatMul(a, b)
+			want := naiveMatMul(a, b)
+			for i := range want.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("GOMAXPROCS=%d shape %v: element %d differs", procs, s, i)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestMatMulConcurrentCallers hammers the fan-out kernels from many
+// goroutines at once; under -race this certifies the workers share no
+// mutable state beyond their disjoint output windows.
+func TestMatMulConcurrentCallers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	a, b := New(64, 48), New(48, 256)
+	fillSeq(a)
+	fillSeq(b)
+	want := naiveMatMul(a, b)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := MatMul(a, b)
+			for i := range want.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Errorf("concurrent MatMul diverged at %d", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
