@@ -61,6 +61,8 @@ type (
 	Objective = attack.Objective
 	// Preprocessor is an input-level defense.
 	Preprocessor = defense.Preprocessor
+	// IntoPreprocessor is a defense that can reuse a caller-held frame.
+	IntoPreprocessor = defense.IntoPreprocessor
 	// DetectionScores bundles mAP@50 / precision / recall.
 	DetectionScores = metrics.DetectionScores
 
@@ -144,6 +146,9 @@ var (
 	GaussianNoise = attack.Gaussian
 	// BoxMask restricts a perturbation to a bounding box.
 	BoxMask = attack.BoxMask
+	// FGSMInto is FGSM writing into a caller-held frame (allocation-free
+	// per-frame attacks; see the README's Performance section).
+	FGSMInto = attack.FGSMInto
 )
 
 // NewCAP returns the stateful runtime CAP attacker.

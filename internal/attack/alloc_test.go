@@ -1,0 +1,60 @@
+package attack
+
+import (
+	"testing"
+
+	"repro/internal/testenv"
+
+	"repro/internal/box"
+	"repro/internal/imaging"
+	"repro/internal/regress"
+	"repro/internal/xrand"
+)
+
+// TestFGSMIntoSteadyStateAllocs guards the per-frame white-box attack
+// budget: with the model workspace warm and the caller reusing its mask and
+// destination frame, one FGSM step (forward + input-gradient backward +
+// projection) must not touch the allocator. Threshold < 1 tolerates a rare
+// GC clearing the matmul pack pool mid-measurement.
+func TestFGSMIntoSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	rng := xrand.New(5)
+	reg := regress.New(rng, 24)
+	obj := &RegressionObjective{Reg: reg}
+	img := imaging.NewImage(3, 24, 24)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%11) * 0.09
+	}
+	mask := BoxMask(3, 24, 24, box.Box{X0: 4, Y0: 4, X1: 18, Y1: 18}, 1)
+	dst := imaging.NewImage(3, 24, 24)
+
+	FGSMInto(dst, obj, img, 0.02, mask) // warm the workspace
+	avg := testing.AllocsPerRun(50, func() { FGSMInto(dst, obj, img, 0.02, mask) })
+	if avg >= 1 {
+		t.Fatalf("FGSMInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestFGSMIntoMatchesFGSM pins the destination-passing variant to the
+// allocating one bit-for-bit.
+func TestFGSMIntoMatchesFGSM(t *testing.T) {
+	rng := xrand.New(6)
+	reg := regress.New(rng, 24)
+	obj := &RegressionObjective{Reg: reg}
+	img := imaging.NewImage(3, 24, 24)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%7) * 0.13
+	}
+	mask := BoxMask(3, 24, 24, box.Box{X0: 2, Y0: 2, X1: 20, Y1: 20}, 0)
+
+	want := FGSM(obj, img, 0.05, mask)
+	dst := imaging.NewImage(3, 24, 24)
+	got := FGSMInto(dst, obj, img, 0.05, mask)
+	for i := range want.Pix {
+		if want.Pix[i] != got.Pix[i] {
+			t.Fatalf("FGSMInto diverges from FGSM at %d: %v vs %v", i, got.Pix[i], want.Pix[i])
+		}
+	}
+}

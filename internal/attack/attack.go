@@ -32,7 +32,14 @@ type Objective interface {
 // the given box expanded by expand pixels; nil-mask semantics (attack the
 // whole image) are expressed by passing a nil mask to the attacks.
 func BoxMask(c, h, w int, b box.Box, expand float64) *tensor.Tensor {
-	m := tensor.New(c, h, w)
+	return BoxMaskInto(tensor.New(c, h, w), b, expand)
+}
+
+// BoxMaskInto is BoxMask writing into an existing (c,h,w) mask tensor,
+// which per-frame attackers reuse across frames. The mask is zeroed first.
+func BoxMaskInto(m *tensor.Tensor, b box.Box, expand float64) *tensor.Tensor {
+	c, h, w := m.Dim(0), m.Dim(1), m.Dim(2)
+	m.Zero()
 	eb := b.Expand(expand).Clip(float64(w), float64(h))
 	x0, y0 := int(eb.X0), int(eb.Y0)
 	x1, y1 := int(eb.X1+0.999), int(eb.Y1+0.999)
@@ -80,13 +87,19 @@ func Gaussian(rng *xrand.RNG, img *imaging.Image, sigma float64, mask *tensor.Te
 // FGSM performs the single-step fast gradient sign attack (Eq. 2):
 // x_adv = clamp(x + ε·sign(∇x J)).
 func FGSM(obj Objective, img *imaging.Image, eps float64, mask *tensor.Tensor) *imaging.Image {
+	return FGSMInto(imaging.NewImage(img.C, img.H, img.W), obj, img, eps, mask)
+}
+
+// FGSMInto is FGSM writing the adversarial frame into dst, which must match
+// img's geometry and not alias it. With the model workspace warm, a
+// steady-state per-frame FGSM step allocates nothing.
+func FGSMInto(dst *imaging.Image, obj Objective, img *imaging.Image, eps float64, mask *tensor.Tensor) *imaging.Image {
 	_, grad := obj.LossGrad(img)
 	grad.SignInPlace()
 	applyMask(grad, mask)
-	out := img.Clone()
-	outT := out.Tensor()
-	outT.AddScaledInPlace(grad, float32(eps))
-	return out.Clamp()
+	copy(dst.Pix, img.Pix)
+	dst.Tensor().AddScaledInPlace(grad, float32(eps))
+	return dst.Clamp()
 }
 
 // APGDConfig parameterises Auto-PGD.
@@ -107,14 +120,26 @@ func DefaultAPGDConfig(eps float64) APGDConfig {
 // an adaptive step size that halves when progress stalls, always keeping
 // the best iterate found. The perturbation stays inside the ε L∞ ball
 // around the original image (optionally masked) and the valid pixel range.
+// The loop allocates its perturbation, momentum and candidate buffers once
+// and reuses them across all steps; the gradient evaluated for the
+// best-iterate bookkeeping doubles as the next step's ascent direction
+// (the iterate is unchanged in between, so the gradient is identical),
+// halving the number of forward/backward passes per step.
 func AutoPGD(obj Objective, img *imaging.Image, cfg APGDConfig, mask *tensor.Tensor) *imaging.Image {
 	orig := img.Tensor()
 	x := img.Clone()
+	xT := x.Tensor()
 	step := 2 * cfg.Eps // Croce & Hein's initial step size
 
-	bestLoss, _ := obj.LossGrad(x)
+	bestLoss, grad := obj.LossGrad(x)
 	best := x.Clone()
 	prev := x.Clone()
+	prevT := prev.Tensor()
+
+	// Reusable step buffers: candidate, momentum blend, carry term.
+	z := xT.Clone()
+	xNew := xT.Clone()
+	carry := xT.Clone()
 
 	checkpoint := cfg.Steps / 5
 	if checkpoint < 1 {
@@ -123,44 +148,45 @@ func AutoPGD(obj Objective, img *imaging.Image, cfg APGDConfig, mask *tensor.Ten
 	improved := 0
 
 	for t := 0; t < cfg.Steps; t++ {
-		_, grad := obj.LossGrad(x)
 		grad.SignInPlace()
 		applyMask(grad, mask)
 
 		// Candidate step.
-		z := x.Tensor().Clone()
+		copy(z.Data(), xT.Data())
 		z.AddScaledInPlace(grad, float32(step))
 		project(z, orig, cfg.Eps, mask)
 
 		// Momentum: blend the candidate with the previous movement direction.
-		xNew := z.Clone()
+		copy(xNew.Data(), z.Data())
 		xNew.ScaleInPlace(float32(cfg.Alpha))
-		carry := x.Tensor().Clone()
-		carry.SubInPlace(prev.Tensor())
-		carry.AddInPlace(x.Tensor())
+		copy(carry.Data(), xT.Data())
+		carry.SubInPlace(prevT)
+		carry.AddInPlace(xT)
 		carry.ScaleInPlace(float32(1 - cfg.Alpha))
 		xNew.AddInPlace(carry)
 		project(xNew, orig, cfg.Eps, mask)
 
-		prev = x.Clone()
+		copy(prev.Pix, x.Pix)
 		copy(x.Pix, xNew.Data())
 		x.Clamp()
 
-		loss, _ := obj.LossGrad(x)
+		var loss float64
+		loss, grad = obj.LossGrad(x)
 		if loss > bestLoss {
 			bestLoss = loss
-			best = x.Clone()
+			copy(best.Pix, x.Pix)
 			improved++
 		}
 
 		// Adaptive step halving at checkpoints: if fewer than rho·interval
 		// steps improved the best loss, halve the step and restart from the
-		// best iterate found so far.
+		// best iterate found so far (refreshing the gradient there).
 		if (t+1)%checkpoint == 0 {
 			if float64(improved) < cfg.Rho*float64(checkpoint) {
 				step /= 2
-				x = best.Clone()
-				prev = best.Clone()
+				copy(x.Pix, best.Pix)
+				copy(prev.Pix, best.Pix)
+				_, grad = obj.LossGrad(x)
 			}
 			improved = 0
 		}

@@ -32,6 +32,8 @@ type CAP struct {
 	prevPatch *imaging.Image // patch as an image over the previous bbox
 	prevBox   box.Box
 	hasPrev   bool
+
+	mask *tensor.Tensor // reusable frame-sized bbox mask
 }
 
 // NewCAP returns a fresh runtime attacker.
@@ -61,15 +63,23 @@ func (c *CAP) Apply(obj Objective, img *imaging.Image, leadBox box.Box) *imaging
 	}
 	bw, bh := x1-x0, y1-y0
 
-	// Patch inheritance: warp the previous patch onto the new bbox.
-	patch := imaging.NewImage(img.C, bh, bw)
+	// Patch inheritance: warp the previous patch onto the new bbox. The
+	// warped patch is a pooled scratch image; it is consumed by pastePatch
+	// below and returned to the pool.
+	patch := imaging.GetImage(img.C, bh, bw)
 	if c.hasPrev {
-		patch = c.prevPatch.ResizeBilinear(bh, bw)
+		c.prevPatch.ResizeBilinearInto(patch)
+	} else {
+		clear(patch.Pix)
 	}
 
-	mask := BoxMask(img.C, img.H, img.W, lb, 0)
+	if c.mask == nil || !c.mask.ShapeEq(img.C, img.H, img.W) {
+		c.mask = tensor.New(img.C, img.H, img.W)
+	}
+	mask := BoxMaskInto(c.mask, lb, 0)
 	adv := img.Clone()
 	pastePatch(adv, patch, y0, x0)
+	imaging.PutImage(patch)
 	adv.Clamp()
 
 	eps := float32(c.Cfg.Eps)
@@ -106,8 +116,12 @@ func (c *CAP) Apply(obj Objective, img *imaging.Image, leadBox box.Box) *imaging
 		}
 	}
 
-	// Remember the refined patch (adv − clean over the bbox).
-	c.prevPatch = diffPatch(adv, img, y0, x0, bh, bw)
+	// Remember the refined patch (adv − clean over the bbox), reusing the
+	// previous frame's patch buffer when the bbox size is unchanged.
+	if c.prevPatch == nil || c.prevPatch.C != adv.C || c.prevPatch.H != bh || c.prevPatch.W != bw {
+		c.prevPatch = imaging.NewImage(adv.C, bh, bw)
+	}
+	diffPatchInto(c.prevPatch, adv, img, y0, x0)
 	c.prevBox = lb
 	c.hasPrev = true
 	return adv
@@ -174,9 +188,11 @@ func pastePatch(img, patch *imaging.Image, y0, x0 int) {
 	}
 }
 
-// diffPatch extracts adv − clean over the bbox window as a patch image.
-func diffPatch(adv, clean *imaging.Image, y0, x0, bh, bw int) *imaging.Image {
-	p := imaging.NewImage(adv.C, bh, bw)
+// diffPatchInto extracts adv − clean over the bbox window into the patch
+// image p (whose geometry defines the window size).
+func diffPatchInto(p, adv, clean *imaging.Image, y0, x0 int) {
+	bh, bw := p.H, p.W
+	clear(p.Pix)
 	for c := 0; c < adv.C; c++ {
 		for y := 0; y < bh; y++ {
 			sy := y0 + y
@@ -192,7 +208,6 @@ func diffPatch(adv, clean *imaging.Image, y0, x0, bh, bw int) *imaging.Image {
 			}
 		}
 	}
-	return p
 }
 
 func abs32(v float32) float32 {

@@ -1,0 +1,56 @@
+package defense
+
+import (
+	"testing"
+
+	"repro/internal/testenv"
+
+	"repro/internal/imaging"
+)
+
+// TestMedianBlurProcessIntoAllocs guards the §VI per-frame defense budget:
+// median filtering into a caller-held frame must not allocate, so the
+// latency benches measure filtering rather than the allocator.
+func TestMedianBlurProcessIntoAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	d := NewMedianBlur()
+	img := imaging.NewImage(3, 32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%23) * 0.04
+	}
+	dst := imaging.NewImage(3, 32, 32)
+	if avg := testing.AllocsPerRun(20, func() { d.ProcessInto(dst, img) }); avg != 0 {
+		t.Fatalf("MedianBlur.ProcessInto allocates %.2f/op, want 0", avg)
+	}
+}
+
+// TestProcessIntoMatchesProcess pins every destination-passing defense to
+// its allocating Process output bit-for-bit (Randomization is checked with
+// twin RNG states since its output is stochastic per call).
+func TestProcessIntoMatchesProcess(t *testing.T) {
+	img := imaging.NewImage(3, 24, 24)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%19) * 0.05
+	}
+	cases := []struct {
+		name string
+		a, b Preprocessor
+	}{
+		{"none", None{}, None{}},
+		{"median", NewMedianBlur(), NewMedianBlur()},
+		{"bitdepth", NewBitDepth(), NewBitDepth()},
+		{"randomization", NewRandomization(7), NewRandomization(7)},
+	}
+	for _, tc := range cases {
+		want := tc.a.Process(img)
+		dst := imaging.NewImage(3, 24, 24)
+		got := tc.b.(IntoPreprocessor).ProcessInto(dst, img)
+		for i := range want.Pix {
+			if want.Pix[i] != got.Pix[i] {
+				t.Fatalf("%s: ProcessInto diverges from Process at %d", tc.name, i)
+			}
+		}
+	}
+}

@@ -18,10 +18,30 @@ type Preprocessor interface {
 	Process(img *imaging.Image) *imaging.Image
 }
 
+// IntoPreprocessor is implemented by defenses that can write the defended
+// frame into a caller-provided buffer, so per-frame loops (the closed-loop
+// pipeline, the §VI latency benches) reuse one destination instead of
+// allocating a frame per step. dst must match img's geometry and not alias
+// it; the returned image is dst.
+type IntoPreprocessor interface {
+	Preprocessor
+	ProcessInto(dst, img *imaging.Image) *imaging.Image
+}
+
+// Apply runs p writing into dst when the defense supports destination
+// passing, falling back to Process (fresh allocation) otherwise. dst may be
+// nil to force the fallback.
+func Apply(p Preprocessor, dst, img *imaging.Image) *imaging.Image {
+	if ip, ok := p.(IntoPreprocessor); ok && dst != nil {
+		return ip.ProcessInto(dst, img)
+	}
+	return p.Process(img)
+}
+
 // None is the identity preprocessor (the "no defense" table rows).
 type None struct{}
 
-var _ Preprocessor = None{}
+var _ IntoPreprocessor = None{}
 
 // Name implements Preprocessor.
 func (None) Name() string { return "None" }
@@ -29,12 +49,21 @@ func (None) Name() string { return "None" }
 // Process implements Preprocessor.
 func (None) Process(img *imaging.Image) *imaging.Image { return img.Clone() }
 
+// ProcessInto implements IntoPreprocessor.
+func (None) ProcessInto(dst, img *imaging.Image) *imaging.Image {
+	if dst.C != img.C || dst.H != img.H || dst.W != img.W {
+		panic("defense: None.ProcessInto destination geometry mismatch")
+	}
+	copy(dst.Pix, img.Pix)
+	return dst
+}
+
 // MedianBlur applies k×k median filtering (Xu et al. feature squeezing).
 type MedianBlur struct {
 	K int
 }
 
-var _ Preprocessor = MedianBlur{}
+var _ IntoPreprocessor = MedianBlur{}
 
 // NewMedianBlur returns the defense with the standard 3×3 window.
 func NewMedianBlur() MedianBlur { return MedianBlur{K: 3} }
@@ -47,12 +76,17 @@ func (m MedianBlur) Process(img *imaging.Image) *imaging.Image {
 	return imaging.MedianBlur(img, m.K)
 }
 
+// ProcessInto implements IntoPreprocessor.
+func (m MedianBlur) ProcessInto(dst, img *imaging.Image) *imaging.Image {
+	return imaging.MedianBlurInto(dst, img, m.K)
+}
+
 // BitDepth quantises pixels to the given bit depth (feature squeezing).
 type BitDepth struct {
 	Bits int
 }
 
-var _ Preprocessor = BitDepth{}
+var _ IntoPreprocessor = BitDepth{}
 
 // NewBitDepth returns the defense at the paper's 4-bit setting.
 func NewBitDepth() BitDepth { return BitDepth{Bits: 4} }
@@ -65,6 +99,11 @@ func (b BitDepth) Process(img *imaging.Image) *imaging.Image {
 	return imaging.BitDepthReduce(img, b.Bits)
 }
 
+// ProcessInto implements IntoPreprocessor.
+func (b BitDepth) ProcessInto(dst, img *imaging.Image) *imaging.Image {
+	return imaging.BitDepthReduceInto(dst, img, b.Bits)
+}
+
 // Randomization resizes the input to a random smaller scale, pads it back
 // at a random offset and injects a little noise (Xie et al.), breaking the
 // pixel alignment adversarial perturbations rely on. The defense is
@@ -75,7 +114,7 @@ type Randomization struct {
 	rng      *xrand.RNG
 }
 
-var _ Preprocessor = (*Randomization)(nil)
+var _ IntoPreprocessor = (*Randomization)(nil)
 
 // NewRandomization returns the defense with the standard configuration.
 func NewRandomization(seed int64) *Randomization {
@@ -88,6 +127,11 @@ func (r *Randomization) Name() string { return "Randomization" }
 // Process implements Preprocessor.
 func (r *Randomization) Process(img *imaging.Image) *imaging.Image {
 	return imaging.RandomResizePad(r.rng, img, r.MinScale, r.NoiseStd)
+}
+
+// ProcessInto implements IntoPreprocessor.
+func (r *Randomization) ProcessInto(dst, img *imaging.Image) *imaging.Image {
+	return imaging.RandomResizePadInto(r.rng, dst, img, r.MinScale, r.NoiseStd)
 }
 
 // Chain composes preprocessors left to right, supporting the "combine

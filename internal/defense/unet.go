@@ -30,6 +30,8 @@ type UNet struct {
 
 	// forward caches
 	e1, e2 *tensor.Tensor
+
+	params []*nn.Param // lazy cache for the per-step grad reset
 }
 
 // Channel widths of the UNet stages.
@@ -75,13 +77,15 @@ func NewUNet(rng *xrand.RNG, inC int) *UNet {
 	}
 }
 
-// Params returns all trainable parameters.
+// Params returns all trainable parameters. The slice is cached so the
+// per-step ZeroGrad doesn't rebuild it.
 func (u *UNet) Params() []*nn.Param {
-	var ps []*nn.Param
-	for _, s := range []*nn.Sequential{u.enc1, u.enc2, u.enc3, u.mid, u.dec2, u.dec1, u.out} {
-		ps = append(ps, s.Params()...)
+	if u.params == nil {
+		for _, s := range []*nn.Sequential{u.enc1, u.enc2, u.enc3, u.mid, u.dec2, u.dec1, u.out} {
+			u.params = append(u.params, s.Params()...)
+		}
 	}
-	return ps
+	return u.params
 }
 
 // ZeroGrad clears all parameter gradients.

@@ -12,6 +12,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/regress"
 	"repro/internal/sim"
+	"repro/internal/tensor"
 )
 
 // AttackSpec is one column of the matrix's attack axis: a name and a
@@ -51,17 +52,26 @@ func capRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
 	})
 }
 
-// fgsmRuntimeAttacker returns a stateless per-frame FGSM attacker confined
-// to the lead-vehicle box, attacking through its own regressor clone.
+// fgsmRuntimeAttacker returns a per-frame FGSM attacker confined to the
+// lead-vehicle box, attacking through its own regressor clone. The mask and
+// output frame are closure-held buffers reused across frames: the pipeline
+// consumes each attacked frame before requesting the next, so one
+// destination suffices and the 20 Hz loop allocates nothing per frame.
 func fgsmRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
 	obj := &attack.RegressionObjective{Reg: reg.Clone()}
+	var mask *tensor.Tensor
+	var out *imaging.Image
 	return pipeline.AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
 		lb := leadBox.Clip(float64(img.W), float64(img.H))
 		if lb.Empty() || lb.W() < 1 || lb.H() < 1 {
 			return img.Clone()
 		}
-		mask := attack.BoxMask(img.C, img.H, img.W, lb, 1)
-		return attack.FGSM(obj, img, runtimeFGSMEps, mask)
+		if mask == nil || !mask.ShapeEq(img.C, img.H, img.W) {
+			mask = tensor.New(img.C, img.H, img.W)
+		}
+		attack.BoxMaskInto(mask, lb, 1)
+		out = imaging.EnsureLike(out, img)
+		return attack.FGSMInto(out, obj, img, runtimeFGSMEps, mask)
 	})
 }
 

@@ -1,69 +1,110 @@
 package imaging
 
-import (
-	"math"
-	"sort"
-)
+import "math"
 
 // MedianBlur replaces each pixel with the median of its k×k neighbourhood
 // (k odd, clamp-to-edge borders). Median filtering suppresses isolated
 // adversarial pixels while preserving edges, which is why it is the
 // strongest of the classical preprocessing defenses in the paper.
 func MedianBlur(im *Image, k int) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	MedianBlurInto(out, im, k)
+	return out
+}
+
+// medianStackWindow is the largest kernel whose sort window lives on the
+// stack; bigger (unusual) kernels fall back to one heap window per call.
+const medianStackWindow = 7
+
+// MedianBlurInto is MedianBlur writing into dst, which must match im's
+// geometry and not alias it. The per-pixel window is sorted with insertion
+// sort on a stack buffer: for the 3×3–7×7 kernels the defenses use that is
+// both faster than a general sort and allocation-free, so per-frame latency
+// measures filtering rather than the allocator.
+func MedianBlurInto(dst, im *Image, k int) *Image {
 	if k%2 == 0 {
 		panic("imaging: MedianBlur kernel must be odd")
 	}
+	checkInto(dst, im, "MedianBlurInto")
 	r := k / 2
-	out := NewImage(im.C, im.H, im.W)
-	window := make([]float32, 0, k*k)
+	var stack [medianStackWindow * medianStackWindow]float32
+	window := stack[:0]
+	if k > medianStackWindow {
+		window = make([]float32, 0, k*k)
+	}
 	for c := 0; c < im.C; c++ {
 		for y := 0; y < im.H; y++ {
 			for x := 0; x < im.W; x++ {
 				window = window[:0]
 				for dy := -r; dy <= r; dy++ {
 					sy := clampInt(y+dy, 0, im.H-1)
+					row := im.Pix[(c*im.H+sy)*im.W : (c*im.H+sy+1)*im.W]
 					for dx := -r; dx <= r; dx++ {
-						sx := clampInt(x+dx, 0, im.W-1)
-						window = append(window, im.At(c, sy, sx))
+						// Insertion sort as we go: shift the tail up until
+						// the new sample's slot appears.
+						v := row[clampInt(x+dx, 0, im.W-1)]
+						i := len(window)
+						window = window[:i+1]
+						for i > 0 && window[i-1] > v {
+							window[i] = window[i-1]
+							i--
+						}
+						window[i] = v
 					}
 				}
-				sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
-				out.Set(c, y, x, window[len(window)/2])
+				dst.Set(c, y, x, window[len(window)/2])
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // BitDepthReduce quantises pixel values to the given number of bits per
 // channel (feature squeezing); quantisation floors small perturbations to
 // the nearest representable level.
 func BitDepthReduce(im *Image, bits int) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	return BitDepthReduceInto(out, im, bits)
+}
+
+// BitDepthReduceInto is BitDepthReduce writing into dst, which must match
+// im's geometry (dst == im quantises in place).
+func BitDepthReduceInto(dst, im *Image, bits int) *Image {
 	if bits < 1 || bits > 8 {
 		panic("imaging: BitDepthReduce bits must be in [1,8]")
 	}
+	checkInto(dst, im, "BitDepthReduceInto")
 	levels := float32(int(1)<<bits - 1)
-	out := im.Clone()
-	for i, v := range out.Pix {
+	for i, v := range im.Pix {
 		if v < 0 {
 			v = 0
 		} else if v > 1 {
 			v = 1
 		}
-		out.Pix[i] = float32(math.Round(float64(v*levels))) / levels
+		dst.Pix[i] = float32(math.Round(float64(v*levels))) / levels
 	}
-	return out
+	return dst
 }
 
 // GaussianBlur convolves each channel with a separable Gaussian kernel of
 // the given sigma (radius 3σ, clamp-to-edge).
 func GaussianBlur(im *Image, sigma float64) *Image {
+	out := NewImage(im.C, im.H, im.W)
+	return GaussianBlurInto(out, im, sigma)
+}
+
+// GaussianBlurInto is GaussianBlur writing into dst, which must match im's
+// geometry and not alias it. The intermediate horizontal-pass image comes
+// from the package image pool.
+func GaussianBlurInto(dst, im *Image, sigma float64) *Image {
+	checkInto(dst, im, "GaussianBlurInto")
 	// The negated comparison also catches NaN, which would otherwise
 	// produce a garbage kernel radius below; the second clause catches a
 	// sigma so small that 2σ² underflows to zero, which would make the
 	// kernel center 0/0 = NaN. Either way the blur is an identity.
 	if !(sigma > 0) || 2*sigma*sigma == 0 {
-		return im.Clone()
+		copy(dst.Pix, im.Pix)
+		return dst
 	}
 	// Cap the radius at the image extent before the int conversion: past
 	// that point a wider kernel only flattens the (already near-uniform)
@@ -86,7 +127,7 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 	}
 
 	// Horizontal pass.
-	tmp := NewImage(im.C, im.H, im.W)
+	tmp := GetImage(im.C, im.H, im.W)
 	for c := 0; c < im.C; c++ {
 		for y := 0; y < im.H; y++ {
 			for x := 0; x < im.W; x++ {
@@ -100,7 +141,6 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 		}
 	}
 	// Vertical pass.
-	out := NewImage(im.C, im.H, im.W)
 	for c := 0; c < im.C; c++ {
 		for y := 0; y < im.H; y++ {
 			for x := 0; x < im.W; x++ {
@@ -109,11 +149,12 @@ func GaussianBlur(im *Image, sigma float64) *Image {
 					sy := clampInt(y+i, 0, im.H-1)
 					acc += kernel[i+r] * tmp.At(c, sy, x)
 				}
-				out.Set(c, y, x, acc)
+				dst.Set(c, y, x, acc)
 			}
 		}
 	}
-	return out
+	PutImage(tmp)
+	return dst
 }
 
 // BoxBlur is a cheap k×k mean filter (k odd), used by scene generation for
@@ -141,4 +182,12 @@ func BoxBlur(im *Image, k int) *Image {
 		}
 	}
 	return out
+}
+
+// checkInto validates the destination-passing contract shared by the
+// *Into filters: matching geometry.
+func checkInto(dst, im *Image, op string) {
+	if dst.C != im.C || dst.H != im.H || dst.W != im.W {
+		panic("imaging: " + op + " destination geometry mismatch")
+	}
 }

@@ -59,11 +59,18 @@ func (c Color) Scale(s float32) Color {
 type Image struct {
 	C, H, W int
 	Pix     []float32 // len = C*H*W, channel-major
+
+	// view is the memoised Tensor() wrapper over Pix. Constructors set it
+	// eagerly so Tensor() is a pure read — safe for concurrent readers
+	// sharing one image (the evaluation workers do exactly that).
+	view *tensor.Tensor
 }
 
 // NewImage returns a black image of the given size.
 func NewImage(c, h, w int) *Image {
-	return &Image{C: c, H: h, W: w, Pix: make([]float32, c*h*w)}
+	im := &Image{C: c, H: h, W: w, Pix: make([]float32, c*h*w)}
+	im.view = tensor.FromSlice(im.Pix, c, h, w)
+	return im
 }
 
 // NewRGB returns a black 3-channel image.
@@ -123,9 +130,17 @@ func (im *Image) Clamp() *Image {
 }
 
 // Tensor returns a tensor view sharing the pixel buffer (no copy); writing
-// to the tensor mutates the image.
+// to the tensor mutates the image. The view is memoised, so repeated calls
+// on the hot perception/attack paths allocate nothing.
 func (im *Image) Tensor() *tensor.Tensor {
-	return tensor.FromSlice(im.Pix, im.C, im.H, im.W)
+	if v := im.view; v != nil {
+		vd := v.Data()
+		if len(vd) == len(im.Pix) && len(vd) > 0 && &vd[0] == &im.Pix[0] && v.ShapeEq(im.C, im.H, im.W) {
+			return v
+		}
+	}
+	im.view = tensor.FromSlice(im.Pix, im.C, im.H, im.W)
+	return im.view
 }
 
 // FromTensor wraps a CHW tensor as an image sharing storage.
@@ -133,7 +148,7 @@ func FromTensor(t *tensor.Tensor) *Image {
 	if t.Rank() != 3 {
 		panic(fmt.Sprintf("imaging: FromTensor needs CHW, got %v", t.Shape()))
 	}
-	return &Image{C: t.Dim(0), H: t.Dim(1), W: t.Dim(2), Pix: t.Data()}
+	return &Image{C: t.Dim(0), H: t.Dim(1), W: t.Dim(2), Pix: t.Data(), view: t}
 }
 
 // Sub returns a deep copy of the axis-aligned window [y0,y1)×[x0,x1),

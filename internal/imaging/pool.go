@@ -1,0 +1,47 @@
+package imaging
+
+import "sync"
+
+// imgPool recycles intermediate images so per-frame filters (the Gaussian
+// blur's separable passes, the randomization defense's resize stage) don't
+// allocate a full image of garbage per frame. Pooled images keep their
+// backing pixel slice and are resliced to the requested size.
+var imgPool sync.Pool
+
+// GetImage returns an image of the given size from the internal pool,
+// allocating only when no pooled buffer is large enough. The pixel contents
+// are undefined; callers must fully overwrite them.
+func GetImage(c, h, w int) *Image {
+	n := c * h * w
+	if v := imgPool.Get(); v != nil {
+		im := v.(*Image)
+		if cap(im.Pix) >= n {
+			im.Pix = im.Pix[:n]
+			im.C, im.H, im.W = c, h, w
+			im.view = nil // shape may have changed; rebuild lazily
+			return im
+		}
+	}
+	return NewImage(c, h, w)
+}
+
+// PutImage returns an image to the pool. The caller must not use im (or
+// any view of its pixels) afterwards.
+func PutImage(im *Image) {
+	if im != nil {
+		imgPool.Put(im)
+	}
+}
+
+// EnsureLike returns buf when it already matches the geometry of ref,
+// otherwise a fresh image of ref's size. Callers use it to keep one
+// reusable destination buffer across a frame loop:
+//
+//	buf = imaging.EnsureLike(buf, frame)
+//	defended := d.ProcessInto(buf, frame)
+func EnsureLike(buf, ref *Image) *Image {
+	if buf != nil && buf.C == ref.C && buf.H == ref.H && buf.W == ref.W {
+		return buf
+	}
+	return NewImage(ref.C, ref.H, ref.W)
+}

@@ -8,7 +8,16 @@ import (
 // interpolation; the standard resizer used by the randomization defense and
 // by RP2's expectation-over-transforms sampling.
 func (im *Image) ResizeBilinear(h, w int) *Image {
-	out := NewImage(im.C, h, w)
+	return im.ResizeBilinearInto(NewImage(im.C, h, w))
+}
+
+// ResizeBilinearInto resamples im into dst (whose geometry defines the
+// target size; same channel count, no aliasing) and returns dst.
+func (im *Image) ResizeBilinearInto(dst *Image) *Image {
+	if dst.C != im.C {
+		panic("imaging: ResizeBilinearInto channel mismatch")
+	}
+	out, h, w := dst, dst.H, dst.W
 	if h == im.H && w == im.W {
 		copy(out.Pix, im.Pix)
 		return out
@@ -54,7 +63,16 @@ func (im *Image) ResizeBilinear(h, w int) *Image {
 // PadTo embeds the image in a (h, w) canvas filled with fill, placing the
 // original at offset (oy, ox). Pixels falling outside are dropped.
 func (im *Image) PadTo(h, w, oy, ox int, fill Color) *Image {
-	out := NewImage(im.C, h, w)
+	return im.PadToInto(NewImage(im.C, h, w), oy, ox, fill)
+}
+
+// PadToInto is PadTo writing into dst (whose geometry defines the canvas;
+// same channel count, no aliasing) and returns dst.
+func (im *Image) PadToInto(dst *Image, oy, ox int, fill Color) *Image {
+	if dst.C != im.C {
+		panic("imaging: PadToInto channel mismatch")
+	}
+	out, h, w := dst, dst.H, dst.W
 	out.Fill(fill)
 	for c := 0; c < im.C; c++ {
 		for y := 0; y < im.H; y++ {
@@ -133,10 +151,18 @@ func (im *Image) Translate(dy, dx int) *Image {
 // random offset. A small amount of noise is added to further break
 // adversarial pixel alignment.
 func RandomResizePad(rng *xrand.RNG, im *Image, minScale float64, noiseStd float64) *Image {
+	return RandomResizePadInto(rng, NewImage(im.C, im.H, im.W), im, minScale, noiseStd)
+}
+
+// RandomResizePadInto is RandomResizePad writing into dst, which must match
+// im's geometry and not alias it. The resized intermediate comes from the
+// package image pool, so the steady state allocates nothing.
+func RandomResizePadInto(rng *xrand.RNG, dst, im *Image, minScale float64, noiseStd float64) *Image {
+	checkInto(dst, im, "RandomResizePadInto")
 	scale := rng.Uniform(minScale, 1.0)
 	nh := max(8, int(float64(im.H)*scale))
 	nw := max(8, int(float64(im.W)*scale))
-	small := im.ResizeBilinear(nh, nw)
+	small := im.ResizeBilinearInto(GetImage(im.C, nh, nw))
 	oy := 0
 	if im.H > nh {
 		oy = rng.Intn(im.H - nh + 1)
@@ -145,11 +171,14 @@ func RandomResizePad(rng *xrand.RNG, im *Image, minScale float64, noiseStd float
 	if im.W > nw {
 		ox = rng.Intn(im.W - nw + 1)
 	}
-	out := small.PadTo(im.H, im.W, oy, ox, Gray)
+	small.PadToInto(dst, oy, ox, Gray)
+	PutImage(small)
 	if noiseStd > 0 {
-		out = out.AddGaussianNoise(rng, noiseStd)
+		for i := range dst.Pix {
+			dst.Pix[i] += float32(rng.Normal(0, noiseStd))
+		}
 	}
-	return out.Clamp()
+	return dst.Clamp()
 }
 
 func clampInt(v, lo, hi int) int {

@@ -8,6 +8,7 @@ import (
 
 // ReLU is the rectified linear activation, elementwise max(0, x).
 type ReLU struct {
+	scratch
 	lastIn *tensor.Tensor
 }
 
@@ -18,26 +19,31 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	r.lastIn = x.Clone()
-	out := x.Clone()
+	ws := r.workspace()
+	lastIn := ws.TensorLike(r, "lastIn", x)
+	copy(lastIn.Data(), x.Data())
+	r.lastIn = lastIn
+	out := ws.TensorLike(r, "out", x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		if v < 0 {
-			d[i] = 0
+			v = 0
 		}
+		d[i] = v
 	}
 	return out
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := r.workspace().TensorLike(r, "dx", grad)
 	od := out.Data()
 	xd := r.lastIn.Data()
-	for i := range od {
+	for i, g := range grad.Data() {
 		if xd[i] <= 0 {
-			od[i] = 0
+			g = 0
 		}
+		od[i] = g
 	}
 	return out
 }
@@ -51,7 +57,9 @@ func (r *ReLU) Clone() Layer { return &ReLU{} }
 // LeakyReLU is max(x, alpha*x); a small negative slope keeps gradients
 // flowing through inactive units, which stabilises the tiny detectors here.
 type LeakyReLU struct {
-	Alpha  float32
+	Alpha float32
+
+	scratch
 	lastIn *tensor.Tensor
 }
 
@@ -62,26 +70,31 @@ func NewLeakyReLU(alpha float32) *LeakyReLU { return &LeakyReLU{Alpha: alpha} }
 
 // Forward implements Layer.
 func (r *LeakyReLU) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	r.lastIn = x.Clone()
-	out := x.Clone()
+	ws := r.workspace()
+	lastIn := ws.TensorLike(r, "lastIn", x)
+	copy(lastIn.Data(), x.Data())
+	r.lastIn = lastIn
+	out := ws.TensorLike(r, "out", x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		if v < 0 {
-			d[i] = r.Alpha * v
+			v = r.Alpha * v
 		}
+		d[i] = v
 	}
 	return out
 }
 
 // Backward implements Layer.
 func (r *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := r.workspace().TensorLike(r, "dx", grad)
 	od := out.Data()
 	xd := r.lastIn.Data()
-	for i := range od {
+	for i, g := range grad.Data() {
 		if xd[i] <= 0 {
-			od[i] *= r.Alpha
+			g *= r.Alpha
 		}
+		od[i] = g
 	}
 	return out
 }
@@ -94,6 +107,7 @@ func (r *LeakyReLU) Clone() Layer { return &LeakyReLU{Alpha: r.Alpha} }
 
 // Tanh is the hyperbolic tangent activation.
 type Tanh struct {
+	scratch
 	lastOut *tensor.Tensor
 }
 
@@ -104,22 +118,25 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
+	ws := t.workspace()
+	out := ws.TensorLike(t, "out", x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		d[i] = float32(math.Tanh(float64(v)))
 	}
-	t.lastOut = out.Clone()
+	lastOut := ws.TensorLike(t, "lastOut", x)
+	copy(lastOut.Data(), d)
+	t.lastOut = lastOut
 	return out
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := t.workspace().TensorLike(t, "dx", grad)
 	od := out.Data()
 	yd := t.lastOut.Data()
-	for i := range od {
-		od[i] *= 1 - yd[i]*yd[i]
+	for i, g := range grad.Data() {
+		od[i] = g * (1 - yd[i]*yd[i])
 	}
 	return out
 }
@@ -132,6 +149,7 @@ func (t *Tanh) Clone() Layer { return &Tanh{} }
 
 // Sigmoid is the logistic activation 1/(1+e^-x).
 type Sigmoid struct {
+	scratch
 	lastOut *tensor.Tensor
 }
 
@@ -147,22 +165,25 @@ func SigmoidScalar(x float32) float32 {
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	out := x.Clone()
+	ws := s.workspace()
+	out := ws.TensorLike(s, "out", x)
 	d := out.Data()
-	for i, v := range d {
+	for i, v := range x.Data() {
 		d[i] = SigmoidScalar(v)
 	}
-	s.lastOut = out.Clone()
+	lastOut := ws.TensorLike(s, "lastOut", x)
+	copy(lastOut.Data(), d)
+	s.lastOut = lastOut
 	return out
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	out := grad.Clone()
+	out := s.workspace().TensorLike(s, "dx", grad)
 	od := out.Data()
 	yd := s.lastOut.Data()
-	for i := range od {
-		od[i] *= yd[i] * (1 - yd[i])
+	for i, g := range grad.Data() {
+		od[i] = g * yd[i] * (1 - yd[i])
 	}
 	return out
 }
@@ -174,8 +195,12 @@ func (s *Sigmoid) Params() []*Param { return nil }
 func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
 
 // Flatten reshapes any input to a flat vector; backward restores the shape.
+// Both directions are views over the caller's storage, memoised so the
+// steady state allocates no fresh headers.
 type Flatten struct {
 	lastShape []int
+	fwdView   viewCache
+	bwdView   viewCache
 }
 
 var _ Layer = (*Flatten)(nil)
@@ -185,13 +210,15 @@ func NewFlatten() *Flatten { return &Flatten{} }
 
 // Forward implements Layer.
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	f.lastShape = x.Shape()
-	return x.Reshape(x.Len())
+	if !x.ShapeEq(f.lastShape...) {
+		f.lastShape = x.Shape()
+	}
+	return f.fwdView.of1(x)
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.lastShape...)
+	return f.bwdView.ofShape(grad, f.lastShape)
 }
 
 // Params implements Layer.

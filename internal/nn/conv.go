@@ -9,7 +9,9 @@ import (
 
 // Conv2D is a 2-D convolution over CHW tensors implemented with im2col so
 // the inner loop is a single matrix multiply. Weights are stored as an
-// (outC)×(inC·K·K) matrix; bias is per output channel.
+// (outC)×(inC·K·K) matrix; bias is per output channel. All per-call
+// tensors (columns, outputs, gradient scratch) live in the model workspace
+// and are reused across calls.
 type Conv2D struct {
 	InC, OutC   int
 	K           int
@@ -17,9 +19,16 @@ type Conv2D struct {
 
 	w, b *Param
 
-	// Activation cache for Backward.
-	lastCols *tensor.Tensor
-	lastGeom tensor.ConvGeom
+	scratch
+
+	// Activation cache for Backward: the im2col columns and the geometry
+	// they were built with, so Backward never re-derives shapes.
+	lastCols  *tensor.Tensor
+	lastGeom  tensor.ConvGeom
+	lastOutHW int
+
+	outView  viewCache // 3-D view over the 2-D matmul output
+	gradView viewCache // 2-D view over the incoming CHW gradient
 }
 
 var _ Layer = (*Conv2D)(nil)
@@ -41,11 +50,17 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() != 3 || x.Dim(0) != c.InC {
 		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W), got %v", c.InC, x.Shape()))
 	}
+	ws := c.workspace()
 	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
-	cols := tensor.Im2Col(x, g)
-	out := tensor.MatMul(c.w.Value, cols) // (outC) x (oH*oW)
+	outH, outW := g.OutH(), g.OutW()
+	oHW := outH * outW
+
+	cols := ws.Tensor2(c, "cols", c.InC*c.K*c.K, oHW)
+	tensor.Im2ColInto(cols, x, g)
+	out := ws.Tensor2(c, "out", c.OutC, oHW)
+	tensor.MatMulInto(out, c.w.Value, cols)
+
 	// Broadcast bias across spatial positions.
-	oHW := g.OutH() * g.OutW()
 	od := out.Data()
 	bd := c.b.Value.Data()
 	for ch := 0; ch < c.OutC; ch++ {
@@ -57,18 +72,21 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	}
 	c.lastCols = cols
 	c.lastGeom = g
-	return out.Reshape(c.OutC, g.OutH(), g.OutW())
+	c.lastOutHW = oHW
+	return c.outView.of3(out, c.OutC, outH, outW)
 }
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	ws := c.workspace()
 	g := c.lastGeom
-	oHW := g.OutH() * g.OutW()
-	gm := grad.Reshape(c.OutC, oHW)
+	oHW := c.lastOutHW
+	gm := c.gradView.of2(grad, c.OutC, oHW)
 
-	// dW += G · colsᵀ
-	colsT := tensor.Transpose2D(c.lastCols)
-	dW := tensor.MatMul(gm, colsT)
+	// dW += G · colsᵀ. The columns are stored untransposed, which is
+	// exactly the layout MatMulTransB consumes — no materialised transpose.
+	dW := ws.TensorLike(c, "dW", c.w.Value)
+	tensor.MatMulTransBInto(dW, gm, c.lastCols)
 	c.w.Grad.AddInPlace(dW)
 
 	// db += row sums of G.
@@ -83,9 +101,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// dX = col2im(Wᵀ · G)
-	wT := tensor.Transpose2D(c.w.Value)
-	dCols := tensor.MatMul(wT, gm)
-	return tensor.Col2Im(dCols, g)
+	wT := ws.Tensor2(c, "wT", c.InC*c.K*c.K, c.OutC)
+	tensor.Transpose2DInto(wT, c.w.Value)
+	dCols := ws.Tensor2(c, "dCols", c.InC*c.K*c.K, oHW)
+	tensor.MatMulInto(dCols, wT, gm)
+	dX := ws.Tensor3(c, "dX", g.InC, g.InH, g.InW)
+	tensor.Col2ImInto(dX, dCols, g)
+	return dX
 }
 
 // Params implements Layer.

@@ -19,7 +19,9 @@ func CheckInputGradient(net *Sequential, x *tensor.Tensor, loss LossFn, nProbe i
 	out := net.Forward(x, false)
 	_, g := loss(out)
 	net.ZeroGrad()
-	analytic := net.Backward(g)
+	// Clone: the returned gradient lives in the model workspace and is only
+	// valid until the next Forward — the probing loop below runs many.
+	analytic := net.Backward(g).Clone()
 
 	const eps = 1e-2
 	worst := 0.0

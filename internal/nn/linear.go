@@ -13,6 +13,8 @@ type Linear struct {
 
 	w, b *Param
 
+	scratch
+	inView viewCache
 	lastIn *tensor.Tensor
 }
 
@@ -36,9 +38,12 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Len() != l.In {
 		panic(fmt.Sprintf("nn: Linear expects %d inputs, got shape %v", l.In, x.Shape()))
 	}
-	flat := x.Reshape(l.In)
-	l.lastIn = flat.Clone()
-	out := tensor.New(l.Out)
+	ws := l.workspace()
+	flat := l.inView.of1(x)
+	lastIn := ws.Tensor1(l, "lastIn", l.In)
+	copy(lastIn.Data(), flat.Data())
+	l.lastIn = lastIn
+	out := ws.Tensor1(l, "out", l.Out)
 	wd := l.w.Value.Data()
 	xd := flat.Data()
 	od := out.Data()
@@ -62,7 +67,8 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	bg := l.b.Grad.Data()
 	xd := l.lastIn.Data()
 
-	dx := tensor.New(l.In)
+	dx := l.workspace().Tensor1(l, "dx", l.In)
+	dx.Zero()
 	dxd := dx.Data()
 	for o := 0; o < l.Out; o++ {
 		g := gd[o]

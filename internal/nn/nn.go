@@ -15,6 +15,9 @@
 //   - Layers cache activations between Forward and Backward, so a network
 //     instance is not safe for concurrent use. Clone() produces an
 //     independent copy (parameters deep-copied) for parallel evaluation.
+//   - Forward and Backward outputs live in the model's Workspace and are
+//     valid until the model's next Forward/Backward call; Clone a returned
+//     tensor to retain it longer. See Workspace for the full rules.
 package nn
 
 import "repro/internal/tensor"
@@ -52,17 +55,38 @@ type Layer interface {
 }
 
 // Sequential chains layers; the output of layer i feeds layer i+1.
+// It owns the model Workspace its layers keep their scratch tensors in, so
+// steady-state Forward/Backward passes allocate nothing; see Workspace for
+// the ownership and retention rules.
 type Sequential struct {
 	layers []Layer
+	ws     *Workspace
+
+	params []*Param // lazy cache; invalidated by Append
 }
 
 // NewSequential builds a sequential network from the given layers.
 func NewSequential(layers ...Layer) *Sequential {
-	return &Sequential{layers: layers}
+	s := &Sequential{layers: layers, ws: NewWorkspace()}
+	s.attach(layers)
+	return s
+}
+
+// attach points the given layers' scratch at this model's workspace.
+func (s *Sequential) attach(layers []Layer) {
+	for _, l := range layers {
+		if u, ok := l.(workspaceUser); ok {
+			u.setWorkspace(s.ws)
+		}
+	}
 }
 
 // Append adds layers to the end of the network.
-func (s *Sequential) Append(layers ...Layer) { s.layers = append(s.layers, layers...) }
+func (s *Sequential) Append(layers ...Layer) {
+	s.layers = append(s.layers, layers...)
+	s.attach(layers)
+	s.params = nil
+}
 
 // Layers exposes the underlying layers (e.g. to split a backbone from a
 // head for contrastive fine-tuning). The returned slice is a copy.
@@ -89,13 +113,24 @@ func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return grad
 }
 
-// Params returns all trainable parameters in layer order.
+// Params returns all trainable parameters in layer order. The slice is
+// cached (grad-reset runs once per optimizer step, so rebuilding it there
+// would be a steady-state allocation) and returned with no spare capacity,
+// so callers appending to it always reallocate instead of writing into the
+// cache.
 func (s *Sequential) Params() []*Param {
-	var ps []*Param
-	for _, l := range s.layers {
-		ps = append(ps, l.Params()...)
+	if s.params == nil {
+		n := 0
+		for _, l := range s.layers {
+			n += len(l.Params())
+		}
+		ps := make([]*Param, 0, n)
+		for _, l := range s.layers {
+			ps = append(ps, l.Params()...)
+		}
+		s.params = ps
 	}
-	return ps
+	return s.params
 }
 
 // ZeroGrad clears all accumulated parameter gradients.
@@ -105,14 +140,14 @@ func (s *Sequential) ZeroGrad() {
 	}
 }
 
-// Clone returns an independent deep copy (separate parameters and
-// activation caches), safe to use from another goroutine.
+// Clone returns an independent deep copy (separate parameters, activation
+// caches and workspace), safe to use from another goroutine.
 func (s *Sequential) Clone() *Sequential {
 	ls := make([]Layer, len(s.layers))
 	for i, l := range s.layers {
 		ls[i] = l.Clone()
 	}
-	return &Sequential{layers: ls}
+	return NewSequential(ls...)
 }
 
 // CopyParamsFrom copies parameter values from src into s. The two networks

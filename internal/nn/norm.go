@@ -18,10 +18,12 @@ type GroupNorm struct {
 
 	gamma, beta *Param
 
+	scratch
+
 	// Caches for Backward.
-	lastIn   *tensor.Tensor
-	lastNorm *tensor.Tensor // normalised activations (pre gamma/beta)
-	lastStd  []float32      // per-group sqrt(var+eps)
+	lastH, lastW int
+	lastNorm     *tensor.Tensor // normalised activations (pre gamma/beta)
+	lastStd      []float32      // per-group sqrt(var+eps)
 }
 
 var _ Layer = (*GroupNorm)(nil)
@@ -51,10 +53,13 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	chPerG := g.C / g.Groups
 	n := chPerG * h * w
 
-	g.lastIn = x.Clone()
-	norm := tensor.New(g.C, h, w)
-	out := tensor.New(g.C, h, w)
-	g.lastStd = make([]float32, g.Groups)
+	ws := g.workspace()
+	g.lastH, g.lastW = h, w
+	norm := ws.Tensor3(g, "norm", g.C, h, w)
+	out := ws.Tensor3(g, "out", g.C, h, w)
+	if len(g.lastStd) != g.Groups {
+		g.lastStd = make([]float32, g.Groups)
+	}
 
 	xd := x.Data()
 	nd := norm.Data()
@@ -93,11 +98,11 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	h, w := g.lastIn.Dim(1), g.lastIn.Dim(2)
+	h, w := g.lastH, g.lastW
 	chPerG := g.C / g.Groups
 	n := chPerG * h * w
 
-	dx := tensor.New(g.C, h, w)
+	dx := g.workspace().Tensor3(g, "dx", g.C, h, w)
 	gradD := grad.Data()
 	nd := g.lastNorm.Data()
 	dxd := dx.Data()

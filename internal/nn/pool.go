@@ -11,8 +11,9 @@ import (
 type MaxPool2D struct {
 	K int
 
-	lastShape []int
-	lastArg   []int // flat input index of the max for each output element
+	scratch
+	lastC, lastH, lastW int
+	lastArg             []int // flat input index of the max for each output element
 }
 
 var _ Layer = (*MaxPool2D)(nil)
@@ -30,9 +31,11 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if oh == 0 || ow == 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for %v", m.K, x.Shape()))
 	}
-	out := tensor.New(c, oh, ow)
-	m.lastShape = x.Shape()
-	m.lastArg = make([]int, c*oh*ow)
+	out := m.workspace().Tensor3(m, "out", c, oh, ow)
+	m.lastC, m.lastH, m.lastW = c, h, w
+	if len(m.lastArg) != c*oh*ow {
+		m.lastArg = make([]int, c*oh*ow)
+	}
 	xd := x.Data()
 	od := out.Data()
 	for ch := 0; ch < c; ch++ {
@@ -61,7 +64,8 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(m.lastShape...)
+	dx := m.workspace().Tensor3(m, "dx", m.lastC, m.lastH, m.lastW)
+	dx.Zero()
 	dxd := dx.Data()
 	gd := grad.Data()
 	for i, src := range m.lastArg {
@@ -79,7 +83,8 @@ func (m *MaxPool2D) Clone() Layer { return &MaxPool2D{K: m.K} }
 // Upsample2x doubles spatial resolution by nearest-neighbour repetition;
 // the decoder half of the diffusion UNet uses it.
 type Upsample2x struct {
-	lastShape []int
+	scratch
+	lastC, lastH, lastW int
 }
 
 var _ Layer = (*Upsample2x)(nil)
@@ -93,8 +98,8 @@ func (u *Upsample2x) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Upsample2x expects CHW, got %v", x.Shape()))
 	}
 	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
-	u.lastShape = x.Shape()
-	out := tensor.New(c, h*2, w*2)
+	u.lastC, u.lastH, u.lastW = c, h, w
+	out := u.workspace().Tensor3(u, "out", c, h*2, w*2)
 	xd := x.Data()
 	od := out.Data()
 	for ch := 0; ch < c; ch++ {
@@ -115,8 +120,8 @@ func (u *Upsample2x) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (u *Upsample2x) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	c, h, w := u.lastShape[0], u.lastShape[1], u.lastShape[2]
-	dx := tensor.New(c, h, w)
+	c, h, w := u.lastC, u.lastH, u.lastW
+	dx := u.workspace().Tensor3(u, "dx", c, h, w)
 	gd := grad.Data()
 	dxd := dx.Data()
 	w2 := w * 2

@@ -95,6 +95,10 @@ func Run(cfg Config) sim.Result {
 	filtered := 0.0
 	const filterAlpha = 0.5 // one-pole smoothing of the perceived gap
 
+	// One reusable destination frame for defenses that support destination
+	// passing, so the 20 Hz loop doesn't allocate a frame per step.
+	var defBuf *imaging.Image
+
 	for i := 0; i < steps; i++ {
 		t := float64(i) * cfg.DT
 		trueGap := world.State.Gap()
@@ -115,7 +119,10 @@ func Run(cfg Config) sim.Result {
 			img = cfg.Attacker.Apply(img, frame.LeadBox)
 		}
 		if cfg.Defense != nil {
-			img = cfg.Defense.Process(img)
+			if _, ok := cfg.Defense.(defense.IntoPreprocessor); ok {
+				defBuf = imaging.EnsureLike(defBuf, img)
+			}
+			img = defense.Apply(cfg.Defense, defBuf, img)
 		}
 		perceived := cfg.Reg.Predict(img)
 		if perceived < 0 {

@@ -22,6 +22,8 @@ type Regressor struct {
 	Net     *nn.Sequential
 	Size    int     // input image side (pixels)
 	MaxDist float64 // normalisation constant: output 1.0 == MaxDist meters
+
+	seed *tensor.Tensor // reusable backward seed for DistanceGrad
 }
 
 // New builds a DistNet for size×size RGB inputs.
@@ -62,10 +64,12 @@ func (r *Regressor) Predict(img *imaging.Image) float64 {
 func (r *Regressor) DistanceGrad(img *imaging.Image) (pred float64, grad *tensor.Tensor) {
 	out := r.Net.Forward(img.Tensor(), false)
 	pred = float64(out.Data()[0]) * r.MaxDist
-	seed := tensor.New(1)
-	seed.Data()[0] = 1 // d(pred_norm)/d(out) = 1
+	if r.seed == nil {
+		r.seed = tensor.New(1)
+	}
+	r.seed.Data()[0] = 1 // d(pred_norm)/d(out) = 1
 	r.Net.ZeroGrad()
-	grad = r.Net.Backward(seed)
+	grad = r.Net.Backward(r.seed)
 	return pred, grad
 }
 

@@ -37,47 +37,70 @@ func (g ConvGeom) Validate() error {
 // (InC*K*K) × (OutH*OutW), so convolution becomes a single MatMul with the
 // (OutC)×(InC*K*K) weight matrix. Out-of-bounds taps (padding) read as 0.
 func Im2Col(x *Tensor, g ConvGeom) *Tensor {
+	out := New(g.InC*g.K*g.K, g.OutH()*g.OutW())
+	Im2ColInto(out, x, g)
+	return out
+}
+
+// Im2ColInto is Im2Col writing into dst, which must already have shape
+// (InC*K*K) × (OutH*OutW). Every destination element is written (padding
+// taps as 0), so dst's previous contents don't matter.
+func Im2ColInto(dst, x *Tensor, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	rows := g.InC * g.K * g.K
 	cols := outH * outW
-	out := New(rows, cols)
+	if dst.Rank() != 2 || dst.shape[0] != rows || dst.shape[1] != cols {
+		panic(fmt.Sprintf("tensor: Im2ColInto dst %v, want [%d %d]", dst.shape, rows, cols))
+	}
 	xd := x.data
-	od := out.data
+	od := dst.data
 	for c := 0; c < g.InC; c++ {
 		for ky := 0; ky < g.K; ky++ {
 			for kx := 0; kx < g.K; kx++ {
 				row := (c*g.K+ky)*g.K + kx
 				base := row * cols
 				for oy := 0; oy < outH; oy++ {
+					dstRow := od[base+oy*outW : base+oy*outW+outW]
 					iy := oy*g.Stride - g.Pad + ky
 					if iy < 0 || iy >= g.InH {
-						continue // stays zero
+						clear(dstRow)
+						continue
 					}
 					srcRow := (c*g.InH + iy) * g.InW
-					dstRow := base + oy*outW
-					for ox := 0; ox < outW; ox++ {
+					for ox := range dstRow {
 						ix := ox*g.Stride - g.Pad + kx
 						if ix < 0 || ix >= g.InW {
-							continue
+							dstRow[ox] = 0
+						} else {
+							dstRow[ox] = xd[srcRow+ix]
 						}
-						od[dstRow+ox] = xd[srcRow+ix]
 					}
 				}
 			}
 		}
 	}
-	return out
 }
 
 // Col2Im scatters a column matrix (the gradient of an Im2Col output) back
 // into a CHW tensor, accumulating where kernel windows overlap. It is the
 // exact adjoint of Im2Col, which is what backpropagation requires.
 func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
+	x := New(g.InC, g.InH, g.InW)
+	Col2ImInto(x, cols, g)
+	return x
+}
+
+// Col2ImInto is Col2Im writing into dst, which must already have shape
+// (InC, InH, InW). dst is zeroed before the scatter accumulates into it.
+func Col2ImInto(dst, cols *Tensor, g ConvGeom) {
 	outH, outW := g.OutH(), g.OutW()
 	nCols := outH * outW
-	x := New(g.InC, g.InH, g.InW)
+	if dst.Rank() != 3 || dst.shape[0] != g.InC || dst.shape[1] != g.InH || dst.shape[2] != g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImInto dst %v, want [%d %d %d]", dst.shape, g.InC, g.InH, g.InW))
+	}
+	dst.Zero()
 	cd := cols.data
-	xd := x.data
+	xd := dst.data
 	for c := 0; c < g.InC; c++ {
 		for ky := 0; ky < g.K; ky++ {
 			for kx := 0; kx < g.K; kx++ {
@@ -101,5 +124,4 @@ func Col2Im(cols *Tensor, g ConvGeom) *Tensor {
 			}
 		}
 	}
-	return x
 }

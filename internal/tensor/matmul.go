@@ -11,6 +11,36 @@ import (
 // matrices (the common case for the small heads in this repository).
 const parallelThreshold = 32
 
+// Shape gates for the packed (transposed-B) kernel: below these the pack
+// pass costs more than the cache locality it buys, so the streaming ikj
+// kernel is used instead. Both gates depend only on the operand shapes,
+// never on GOMAXPROCS, so a given product always takes the same numeric
+// path regardless of the worker count.
+const (
+	packMinRows = 8
+	packMinWork = 1 << 12
+)
+
+// splitMinWork is the minimum m*k*n at which the column fan-out engages for
+// short-and-wide products (the conv im2col shape).
+const splitMinWork = 1 << 17
+
+// packPool recycles the scratch buffers the packed kernel transposes B
+// into, so steady-state MatMul calls allocate nothing.
+var packPool sync.Pool
+
+func getPackBuf(n int) *[]float32 {
+	if v := packPool.Get(); v != nil {
+		p := v.(*[]float32)
+		if cap(*p) >= n {
+			*p = (*p)[:n]
+			return p
+		}
+	}
+	b := make([]float32, n)
+	return &b
+}
+
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns a
 // new m×n tensor. Rows of C are computed in parallel across GOMAXPROCS
 // workers when m is large enough to amortise goroutine startup.
@@ -38,10 +68,53 @@ func MatMulInto(dst, a, b *Tensor) {
 	matMulInto(dst.data, a.data, b.data, m, k, n)
 }
 
+// MatMulTransB returns A·Bᵀ for A (m×k) and B (n×k) as a new m×n tensor.
+// B is consumed in its natural row-major layout, which makes this the
+// no-pack fast path when the transposed operand already exists — e.g. the
+// convolution weight-gradient product dW = G·colsᵀ, where cols is stored
+// untransposed.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTransB needs rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	if a.shape[1] != b.shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dims %d vs %d", a.shape[1], b.shape[1]))
+	}
+	c := New(a.shape[0], b.shape[0])
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ for A (m×k) and B (n×k), reusing
+// dst's storage. dst must be m×n.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[0]
+	if b.shape[1] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTransBInto shapes %v = %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	matMulTransB(dst.data, a.data, b.data, m, k, n)
+}
+
+// matMulInto picks a kernel by operand shape only (never by GOMAXPROCS) so
+// a given product is always computed with the same per-element floating-
+// point order: results are bit-identical across runs and worker counts.
 func matMulInto(c, a, b []float32, m, k, n int) {
+	if m >= packMinRows && m*k*n >= packMinWork {
+		// Packed kernel: transpose B once into pooled scratch so the inner
+		// product streams both operands sequentially, then run the register-
+		// blocked dot kernel over it.
+		bp := getPackBuf(k * n)
+		bT := *bp
+		transposeInto(bT, b, k, n)
+		matMulTransB(c, a, bT, m, k, n)
+		packPool.Put(bp)
+		return
+	}
+	// Small or very skinny products: the streaming ikj kernel.
 	workers := runtime.GOMAXPROCS(0)
-	if workers > 1 && m < parallelThreshold && n >= 4*parallelThreshold && m*k*n >= 1<<17 {
-		// Short-and-wide product (the conv im2col shape): split columns.
+	if workers > 1 && m < parallelThreshold && n >= 4*parallelThreshold && m*k*n >= splitMinWork {
+		// Short-and-wide product: split columns.
 		matMulCols(c, a, b, m, k, n, workers)
 		return
 	}
@@ -49,65 +122,146 @@ func matMulInto(c, a, b []float32, m, k, n int) {
 		matMulRows(c, a, b, 0, m, k, n)
 		return
 	}
-	if workers > m {
-		workers = m
+	parallelRanges(m, workers, func(lo, hi int) {
+		matMulRows(c, a, b, lo, hi, k, n)
+	})
+}
+
+// matMulTransB computes C = A·Bᵀ with bT stored n×k row-major. Work is
+// fanned out across rows of C for tall products and across columns for
+// short-and-wide ones; each output element is always a strictly sequential
+// dot product over l, so the split never changes the numeric result.
+func matMulTransB(c, a, bT []float32, m, k, n int) {
+	workers := runtime.GOMAXPROCS(0)
+	switch {
+	case workers > 1 && m >= parallelThreshold:
+		parallelRanges(m, workers, func(lo, hi int) {
+			dotKernelRows(c, a, bT, lo, hi, k, n)
+		})
+	case workers > 1 && n >= 4*parallelThreshold && m*k*n >= splitMinWork:
+		parallelRanges(n, workers, func(lo, hi int) {
+			dotKernelCols(c, a, bT, lo, hi, m, k, n)
+		})
+	default:
+		dotKernelRows(c, a, bT, 0, m, k, n)
 	}
-	rowsPer := (m + workers - 1) / workers
+}
+
+// parallelRanges splits [0, n) into one contiguous chunk per worker and
+// runs fn on each chunk concurrently.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n {
+		workers = n
+	}
+	per := (n + workers - 1) / workers
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo := w * rowsPer
-		hi := lo + rowsPer
-		if hi > m {
-			hi = m
-		}
+		lo := w * per
+		hi := min(lo+per, n)
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			matMulRows(c, a, b, lo, hi, k, n)
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
 }
 
+// dotKernelRows computes rows [lo, hi) of C = A·Bᵀ with a 2×4 register
+// block: two rows of A against four rows of Bᵀ, eight independent
+// accumulators. Every accumulator sums strictly in ascending l with float32
+// rounding at each step — the same per-element order as the ikj kernel —
+// so all kernels in this file agree bit-for-bit.
+func dotKernelRows(c, a, bT []float32, lo, hi, k, n int) {
+	i := lo
+	for ; i+1 < hi; i += 2 {
+		a0 := a[i*k : i*k+k]
+		a1 := a[(i+1)*k : (i+1)*k+k]
+		c0 := c[i*n : i*n+n]
+		c1 := c[(i+1)*n : (i+1)*n+n]
+		j := 0
+		for ; j+3 < n; j += 4 {
+			b0 := bT[j*k : j*k+k]
+			b1 := bT[(j+1)*k : (j+1)*k+k]
+			b2 := bT[(j+2)*k : (j+2)*k+k]
+			b3 := bT[(j+3)*k : (j+3)*k+k]
+			var s00, s01, s02, s03, s10, s11, s12, s13 float32
+			for l, av0 := range a0 {
+				av1 := a1[l]
+				s00 += av0 * b0[l]
+				s01 += av0 * b1[l]
+				s02 += av0 * b2[l]
+				s03 += av0 * b3[l]
+				s10 += av1 * b0[l]
+				s11 += av1 * b1[l]
+				s12 += av1 * b2[l]
+				s13 += av1 * b3[l]
+			}
+			c0[j], c0[j+1], c0[j+2], c0[j+3] = s00, s01, s02, s03
+			c1[j], c1[j+1], c1[j+2], c1[j+3] = s10, s11, s12, s13
+		}
+		for ; j < n; j++ {
+			bj := bT[j*k : j*k+k]
+			var s0, s1 float32
+			for l, bv := range bj {
+				s0 += a0[l] * bv
+				s1 += a1[l] * bv
+			}
+			c0[j], c1[j] = s0, s1
+		}
+	}
+	for ; i < hi; i++ {
+		ai := a[i*k : i*k+k]
+		ci := c[i*n : i*n+n]
+		for j := 0; j < n; j++ {
+			bj := bT[j*k : j*k+k]
+			var s float32
+			for l, bv := range bj {
+				s += ai[l] * bv
+			}
+			ci[j] = s
+		}
+	}
+}
+
+// dotKernelCols computes columns [jlo, jhi) of C = A·Bᵀ for every row,
+// using the same sequential-in-l dot products as dotKernelRows.
+func dotKernelCols(c, a, bT []float32, jlo, jhi, m, k, n int) {
+	for j := jlo; j < jhi; j++ {
+		bj := bT[j*k : j*k+k]
+		for i := 0; i < m; i++ {
+			ai := a[i*k : i*k+k]
+			var s float32
+			for l, bv := range bj {
+				s += ai[l] * bv
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
 // matMulCols splits the column range of C across workers; each worker runs
 // the same ikj kernel restricted to its column window.
 func matMulCols(c, a, b []float32, m, k, n, workers int) {
-	colsPer := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * colsPer
-		hi := lo + colsPer
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := 0; i < m; i++ {
-				ci := c[i*n+lo : i*n+hi]
-				for x := range ci {
-					ci[x] = 0
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := 0; i < m; i++ {
+			ci := c[i*n+lo : i*n+hi]
+			clear(ci)
+			for l := 0; l < k; l++ {
+				av := a[i*k+l]
+				if av == 0 {
+					continue
 				}
-				for l := 0; l < k; l++ {
-					av := a[i*k+l]
-					if av == 0 {
-						continue
-					}
-					bl := b[l*n+lo : l*n+hi]
-					for j, bv := range bl {
-						ci[j] += av * bv
-					}
+				bl := b[l*n+lo : l*n+hi]
+				for j, bv := range bl {
+					ci[j] += av * bv
 				}
 			}
-		}(lo, hi)
-	}
-	wg.Wait()
+		}
+	})
 }
 
 // matMulRows computes rows [lo,hi) of C using an ikj loop order so the inner
@@ -116,9 +270,7 @@ func matMulCols(c, a, b []float32, m, k, n, workers int) {
 func matMulRows(c, a, b []float32, lo, hi, k, n int) {
 	for i := lo; i < hi; i++ {
 		ci := c[i*n : (i+1)*n]
-		for x := range ci {
-			ci[x] = 0
-		}
+		clear(ci)
 		for l := 0; l < k; l++ {
 			av := a[i*k+l]
 			if av == 0 {
@@ -132,17 +284,44 @@ func matMulRows(c, a, b []float32, lo, hi, k, n int) {
 	}
 }
 
+// transposeBlock is the tile edge for the blocked transpose: 32×32 float32
+// tiles keep both the source rows and destination rows inside L1.
+const transposeBlock = 32
+
+// transposeInto writes the transpose of the m×n matrix src into dst (n×m).
+func transposeInto(dst, src []float32, m, n int) {
+	for ib := 0; ib < m; ib += transposeBlock {
+		imax := min(ib+transposeBlock, m)
+		for jb := 0; jb < n; jb += transposeBlock {
+			jmax := min(jb+transposeBlock, n)
+			for i := ib; i < imax; i++ {
+				row := src[i*n : (i+1)*n]
+				for j := jb; j < jmax; j++ {
+					dst[j*m+i] = row[j]
+				}
+			}
+		}
+	}
+}
+
 // Transpose2D returns the transpose of a 2-D tensor as a new tensor.
 func Transpose2D(t *Tensor) *Tensor {
 	if t.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose2D needs rank 2, got %v", t.shape))
 	}
-	m, n := t.shape[0], t.shape[1]
-	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.data[j*m+i] = t.data[i*n+j]
-		}
-	}
+	out := New(t.shape[1], t.shape[0])
+	transposeInto(out.data, t.data, t.shape[0], t.shape[1])
 	return out
+}
+
+// Transpose2DInto writes the transpose of the 2-D tensor t into dst, which
+// must have the swapped shape, reusing dst's storage.
+func Transpose2DInto(dst, t *Tensor) {
+	if t.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: Transpose2DInto needs rank 2, got %v <- %v", dst.shape, t.shape))
+	}
+	if dst.shape[0] != t.shape[1] || dst.shape[1] != t.shape[0] {
+		panic(fmt.Sprintf("tensor: Transpose2DInto shape %v <- %v", dst.shape, t.shape))
+	}
+	transposeInto(dst.data, t.data, t.shape[0], t.shape[1])
 }

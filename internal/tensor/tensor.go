@@ -36,9 +36,15 @@ func New(shape ...int) *Tensor {
 
 // FromSlice wraps data in a tensor of the given shape without copying.
 // The caller must not alias data elsewhere unless that sharing is intended.
+// Like New it panics on a non-positive dimension: two negative dimensions
+// would otherwise multiply to a plausible element count and produce a
+// tensor whose shape no indexing code can use.
 func FromSlice(data []float32, shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
 		n *= d
 	}
 	if n != len(data) {
@@ -110,6 +116,20 @@ func (t *Tensor) offset(idx []int) int {
 	return off
 }
 
+// ShapeEq reports whether the tensor's shape equals dims. It allocates
+// nothing, which lets shape checks sit on allocation-free hot paths.
+func (t *Tensor) ShapeEq(dims ...int) bool {
+	if len(t.shape) != len(dims) {
+		return false
+	}
+	for i, d := range dims {
+		if t.shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
 // SameShape reports whether t and o have identical shapes.
 func (t *Tensor) SameShape(o *Tensor) bool {
 	if len(t.shape) != len(o.shape) {
@@ -131,13 +151,15 @@ func (t *Tensor) assertSame(o *Tensor, op string) {
 
 // Zero sets all elements to 0 in place.
 func (t *Tensor) Zero() {
-	for i := range t.data {
-		t.data[i] = 0
-	}
+	clear(t.data)
 }
 
 // Fill sets all elements to v in place.
 func (t *Tensor) Fill(v float32) {
+	if v == 0 {
+		clear(t.data)
+		return
+	}
 	for i := range t.data {
 		t.data[i] = v
 	}

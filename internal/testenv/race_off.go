@@ -1,0 +1,8 @@
+//go:build !race
+
+// Package testenv exposes build-environment facts tests adapt to.
+package testenv
+
+// RaceEnabled reports whether the binary was built with -race. See
+// race_on.go for why allocation-budget tests consult it.
+const RaceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package testenv exposes build-environment facts tests adapt to.
+package testenv
+
+// RaceEnabled reports whether the binary was built with -race. Allocation-
+// budget tests skip under the race detector: its runtime allocates on
+// paths that are allocation-free in normal builds, and sync.Pool
+// deliberately drops items to widen the schedules it can observe.
+const RaceEnabled = true
