@@ -10,7 +10,12 @@
 //     training, contrastive learning, diffusion/DiffPIR);
 //   - the synthetic scene generators and the closed-loop ACC pipeline;
 //   - the experiment harness reproducing the paper's Tables I–V and
-//     Figures 1–2.
+//     Figures 1–2, the scenario matrix and the sharded sweep runtime.
+//
+// The perception stack is batch-first: Regressor.PredictBatch and
+// Detector.ForwardBatch/DetectBatch run whole frame batches through one
+// blocked MatMul per layer, bit-identical frame-for-frame to the
+// per-frame calls.
 //
 // A minimal session:
 //
@@ -85,6 +90,11 @@ type (
 	AttackSpec = eval.AttackSpec
 	// DefenseSpec is a named defense factory for matrix cells.
 	DefenseSpec = eval.DefenseSpec
+
+	// SweepConfig declares one shard of a checkpointed grid sweep.
+	SweepConfig = eval.SweepConfig
+	// SweepReport is one shard's slice of the grid, in global index order.
+	SweepReport = eval.SweepReport
 )
 
 // Attack kinds, re-exported for harness callers.
@@ -176,8 +186,17 @@ func DefaultPipelineConfig(reg *Regressor) pipeline.Config {
 }
 
 // Scenarios returns the registry of named closed-loop lead maneuvers, the
-// scenario axis of the evaluation matrix (env.RunMatrix).
+// scenario axis of the evaluation matrix (env.RunMatrix) and the sharded
+// sweep runtime (env.RunSweep).
 func Scenarios() []Scenario { return pipeline.Scenarios() }
 
 // FindScenario returns the registered scenario with the given name.
 func FindScenario(name string) (Scenario, bool) { return pipeline.FindScenario(name) }
+
+// PaperSweepConfig returns the paper-preset sweep shard: the full grid
+// with a fixed base seed and resume enabled, so shards run on different
+// machines (or re-run after interrupts) assemble into one reproducible
+// grid.
+func PaperSweepConfig(shard, numShards int, jsonl string) SweepConfig {
+	return eval.PaperSweepConfig(shard, numShards, jsonl)
+}

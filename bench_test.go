@@ -200,6 +200,39 @@ func BenchmarkRegressorForward(b *testing.B) {
 	}
 }
 
+// BenchmarkRegressorForwardBatch8 times one batched DistNet inference over
+// 8 frames (one op = 8 frames). Frames/s against BenchmarkRegressorForward
+// is the ISSUE 3 acceptance ratio: 8·(single ns/op) / (batch ns/op) must
+// stay ≥ 1.5.
+func BenchmarkRegressorForwardBatch8(b *testing.B) {
+	env := sharedEnv(b)
+	imgs := make([]*imaging.Image, 8)
+	for i := range imgs {
+		imgs[i] = env.DriveTest.Scenes[i].Img
+	}
+	preds := make([]float64, len(imgs))
+	env.Reg.PredictBatchInto(preds, imgs) // size the batched workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.Reg.PredictBatchInto(preds, imgs)
+	}
+}
+
+// BenchmarkDetectorForwardBatch8 times one batched TinyDet inference over
+// 8 frames (one op = 8 frames).
+func BenchmarkDetectorForwardBatch8(b *testing.B) {
+	env := sharedEnv(b)
+	imgs := make([]*imaging.Image, 8)
+	for i := range imgs {
+		imgs[i] = env.SignTestSet.Scenes[i].Img
+	}
+	env.Det.ForwardBatch(imgs) // size the batched workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = env.Det.ForwardBatch(imgs)
+	}
+}
+
 // BenchmarkAttackFGSM times one single-step white-box attack (forward +
 // input-gradient backward).
 func BenchmarkAttackFGSM(b *testing.B) {

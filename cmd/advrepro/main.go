@@ -7,11 +7,20 @@
 //
 //	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
 //	advrepro matrix [-preset quick|paper] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-md grid.md] [-out report.txt]
+//	advrepro sweep [-preset quick|paper] [-shard i/n] [-jsonl cells.jsonl] [-resume] [-paper-sweep] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-out report.txt]
 //
 // The matrix subcommand expands the scenario registry against the runtime
 // attack and defense axes ({none, CAP, FGSM} x {none, median blur,
 // DiffPIR}) and executes every cell in parallel with deterministic
 // per-cell seeds.
+//
+// The sweep subcommand runs the same grid through the sharded sweep
+// runtime: -shard i/n selects every n-th cell (cell seeds derive from the
+// global grid index, so any decomposition produces identical numbers),
+// finished cells stream to the -jsonl checkpoint as they complete, and
+// -resume replays the checkpoint to execute only missing cells after an
+// interrupt. -paper-sweep applies the paper-preset sweep configuration
+// (fixed base seed, resume on).
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -30,14 +40,114 @@ import (
 func main() {
 	args := os.Args[1:]
 	var err error
-	if len(args) > 0 && args[0] == "matrix" {
+	switch {
+	case len(args) > 0 && args[0] == "matrix":
 		err = runMatrix(args[1:], os.Stdout)
-	} else {
+	case len(args) > 0 && args[0] == "sweep":
+		err = runSweep(args[1:], os.Stdout)
+	default:
 		err = run(args, os.Stdout)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
+}
+
+// parseShard parses "i/n" (e.g. "0/4") into shard index and count.
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	part := strings.SplitN(s, "/", 2)
+	if len(part) != 2 {
+		return 0, 0, fmt.Errorf("shard %q: want i/n (e.g. 0/4)", s)
+	}
+	i, err1 := strconv.Atoi(part[0])
+	n, err2 := strconv.Atoi(part[1])
+	if err1 != nil || err2 != nil || n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("shard %q: want 0 <= i < n", s)
+	}
+	return i, n, nil
+}
+
+// runSweep drives the sharded sweep runtime over the scenario grid.
+func runSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro sweep", flag.ContinueOnError)
+	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
+	shard := fs.String("shard", "", "shard spec i/n (default: the whole grid in one shard)")
+	jsonl := fs.String("jsonl", "", "JSONL checkpoint stream for per-cell results")
+	resume := fs.Bool("resume", false, "replay the checkpoint and run only missing cells")
+	paperSweep := fs.Bool("paper-sweep", false, "apply the paper-preset sweep config (fixed base seed, resume on)")
+	scenarios := fs.String("scenarios", "", "comma-separated scenario names (default: full registry)")
+	duration := fs.Float64("duration", 0, "override scenario duration in seconds (0 = default)")
+	dt := fs.Float64("dt", 0, "override control period in seconds (0 = default)")
+	csvPath := fs.String("csv", "", "optional file for the CSV grid of this shard")
+	out := fs.String("out", "", "optional file to copy the text report to")
+	verbose := fs.Bool("v", false, "log harness progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	p, err := presetByName(*preset)
+	if err != nil {
+		return err
+	}
+	si, sn, err := parseShard(*shard)
+	if err != nil {
+		return err
+	}
+
+	var cfg eval.SweepConfig
+	if *paperSweep {
+		cfg = eval.PaperSweepConfig(si, sn, *jsonl)
+		if *jsonl == "" {
+			cfg.JSONL = fmt.Sprintf("sweep_%s_shard%d_of_%d.jsonl", p.Name, si, sn)
+		}
+	} else {
+		cfg = eval.SweepConfig{Shard: si, NumShards: sn, JSONL: *jsonl, Resume: *resume}
+	}
+	cfg.Matrix.Duration = *duration
+	cfg.Matrix.DT = *dt
+	if *scenarios != "" {
+		for _, name := range strings.Split(*scenarios, ",") {
+			name = strings.TrimSpace(name)
+			sc, ok := pipeline.FindScenario(name)
+			if !ok {
+				return fmt.Errorf("unknown scenario %q (registry: %s)", name, scenarioNames())
+			}
+			cfg.Matrix.Scenarios = append(cfg.Matrix.Scenarios, sc)
+		}
+	}
+
+	start := time.Now()
+	fmt.Fprintf(stdout, "== advrepro sweep: preset=%s shard=%d/%d jsonl=%s resume=%v ==\n",
+		p.Name, cfg.Shard, max(cfg.NumShards, 1), cfg.JSONL, cfg.Resume)
+	env := eval.NewEnv(p)
+	if *verbose {
+		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
+	}
+	fmt.Fprintf(stdout, "victims trained in %v; running shard...\n\n", time.Since(start).Round(time.Second))
+
+	rep, err := env.RunSweep(cfg)
+	if err != nil {
+		return err
+	}
+	report := rep.Matrix().Format()
+	fmt.Fprintln(stdout, report)
+	fmt.Fprintf(stdout, "sweep: shard %d/%d ran %d cells (%d resumed) of a %d-cell grid in %v\n",
+		rep.Shard, rep.NumShards, len(rep.Cells)-rep.Resumed, rep.Resumed, rep.Total, time.Since(start).Round(time.Second))
+
+	if *csvPath != "" {
+		if err := os.WriteFile(*csvPath, []byte(rep.Matrix().CSV()), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
 }
 
 // runMatrix drives the scenario-matrix engine: scenario x attack x defense

@@ -28,7 +28,8 @@ import (
 // per-frame defense latency and the tensor/nn kernels. The table/figure
 // regeneration benches (minutes each) and DiffPIR (trains a prior) are
 // deliberately excluded; pass -bench to override.
-const defaultBench = "BenchmarkRegressorForward|BenchmarkDetectorForward|BenchmarkAttackFGSM|" +
+const defaultBench = "BenchmarkRegressorForward|BenchmarkRegressorForwardBatch8|" +
+	"BenchmarkDetectorForward|BenchmarkDetectorForwardBatch8|BenchmarkAttackFGSM|" +
 	"BenchmarkAttackAutoPGD|BenchmarkAttackCAPFrame|BenchmarkDefenseLatencyMedian|" +
 	"BenchmarkDefenseLatencyBitDepth|BenchmarkDefenseLatencyRandomization|" +
 	"BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkTranspose2D|BenchmarkSequential"

@@ -1,0 +1,47 @@
+// Sharded sweep: run the scenario × attack × defense grid through the
+// checkpointed sweep runtime. The grid is split into shards (every n-th
+// cell, seeds derived from the global cell index), each finished cell is
+// streamed to a JSONL checkpoint, and a second run with -resume replays
+// the checkpoint and executes only what is missing — kill the process
+// halfway and run it again to watch the recovery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	advp "repro"
+)
+
+func main() {
+	duration := flag.Float64("duration", 4, "seconds simulated per cell")
+	shard := flag.Int("shard", 0, "shard index")
+	shards := flag.Int("shards", 2, "total shards")
+	jsonl := flag.String("jsonl", "sweep_cells.jsonl", "checkpoint stream")
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Println("training victim models (quick preset)...")
+	env := advp.NewEnv(advp.Quick())
+
+	cfg := advp.SweepConfig{
+		Matrix:    advp.MatrixConfig{Duration: *duration},
+		Shard:     *shard,
+		NumShards: *shards,
+		JSONL:     *jsonl,
+		Resume:    true,
+	}
+	fmt.Printf("running shard %d/%d of a %d-scenario grid (checkpoint: %s)...\n\n",
+		*shard, *shards, len(advp.Scenarios()), *jsonl)
+	rep, err := env.RunSweep(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(rep.Matrix().Format())
+	fmt.Printf("shard %d/%d: %d cells run, %d resumed from checkpoint, grid total %d, in %v\n",
+		rep.Shard, rep.NumShards, len(rep.Cells)-rep.Resumed, rep.Resumed, rep.Total,
+		time.Since(start).Round(time.Second))
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/testenv"
 
 	"repro/internal/imaging"
+	"repro/internal/xrand"
 )
 
 // TestMedianBlurProcessIntoAllocs guards the §VI per-frame defense budget:
@@ -23,6 +24,59 @@ func TestMedianBlurProcessIntoAllocs(t *testing.T) {
 	dst := imaging.NewImage(3, 32, 32)
 	if avg := testing.AllocsPerRun(20, func() { d.ProcessInto(dst, img) }); avg != 0 {
 		t.Fatalf("MedianBlur.ProcessInto allocates %.2f/op, want 0", avg)
+	}
+}
+
+// tinyDiffusion builds a small untrained prior over 16×16 frames — the
+// restoration loop's cost model doesn't depend on training, only shapes.
+func tinyDiffusion() *Diffusion {
+	cfg := DefaultDiffusionConfig()
+	cfg.T = 10
+	return NewDiffusion(xrand.New(5), cfg)
+}
+
+// TestDiffPIRRestoreSteadyStateAllocs closes the ROADMAP leftover: with
+// the model-held scratch warm (stack input, iterate/estimate/noise
+// buffers, schedule, RNG and the UNet skip-concat buffers), a DiffPIR
+// restoration into a caller-held frame must not allocate.
+func TestDiffPIRRestoreSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	d := tinyDiffusion()
+	cfg := DefaultDiffPIRConfig()
+	cfg.Steps = 3
+	img := imaging.NewRGB(16, 16)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%13) * 0.07
+	}
+	dst := imaging.NewRGB(16, 16)
+	d.RestoreInto(dst, img, cfg) // size the scratch
+	if avg := testing.AllocsPerRun(20, func() { d.RestoreInto(dst, img, cfg) }); avg >= 1 {
+		t.Fatalf("RestoreInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestDiffPIRRestoreIntoMatchesRestore pins the scratch-backed RestoreInto
+// to the allocating Restore bit for bit, including across repeated calls
+// (the reused RNG must restart the stream exactly).
+func TestDiffPIRRestoreIntoMatchesRestore(t *testing.T) {
+	d := tinyDiffusion()
+	cfg := DefaultDiffPIRConfig()
+	cfg.Steps = 3
+	img := imaging.NewRGB(16, 16)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%11) * 0.09
+	}
+	want := tinyDiffusion().Restore(img, cfg)
+	for call := 0; call < 2; call++ {
+		dst := imaging.NewRGB(16, 16)
+		got := d.RestoreInto(dst, img, cfg)
+		for i := range want.Pix {
+			if got.Pix[i] != want.Pix[i] {
+				t.Fatalf("call %d: RestoreInto diverges from Restore at %d", call, i)
+			}
+		}
 	}
 }
 

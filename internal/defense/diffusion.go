@@ -39,6 +39,16 @@ type Diffusion struct {
 
 	betas    []float64
 	alphaBar []float64 // cumulative ᾱ_t
+
+	// Reusable restoration scratch (stack input, iterate, estimate, noise,
+	// timestep schedule, per-call RNG), sized lazily on first use so
+	// steady-state Restore calls never touch the allocator. A Clone gets
+	// fresh scratch, so per-cell clones share no buffers.
+	stackBuf   *tensor.Tensor
+	rx, rx0    *tensor.Tensor
+	rnoise     *tensor.Tensor
+	schedule   []int
+	restoreRNG *xrand.RNG
 }
 
 // NewDiffusion builds an untrained diffusion model.
@@ -68,10 +78,15 @@ func (d *Diffusion) Clone() *Diffusion {
 }
 
 // stack builds the 5-channel network input: the noisy image plus two
-// constant channels embedding the timestep (t/T and ᾱ_t).
+// constant channels embedding the timestep (t/T and ᾱ_t). The output lives
+// in reusable scratch (valid until the next stack call on this model), so
+// training steps and restoration iterations allocate nothing for it.
 func (d *Diffusion) stack(x *tensor.Tensor, t int) *tensor.Tensor {
 	h, w := x.Dim(1), x.Dim(2)
-	out := tensor.New(5, h, w)
+	if d.stackBuf == nil || !d.stackBuf.ShapeEq(5, h, w) {
+		d.stackBuf = tensor.New(5, h, w)
+	}
+	out := d.stackBuf
 	copy(out.Data()[:3*h*w], x.Data())
 	tt := float32(float64(t) / float64(d.T))
 	ab := float32(d.alphaBar[t])
@@ -152,7 +167,24 @@ func DefaultDiffPIRConfig() DiffPIRConfig {
 // (the degradation is unknown additive perturbation) the proximal update
 // is a convex combination of the denoised estimate and y.
 func (d *Diffusion) Restore(y *imaging.Image, cfg DiffPIRConfig) *imaging.Image {
-	rng := xrand.New(cfg.Seed)
+	return d.RestoreInto(imaging.NewImage(y.C, y.H, y.W), y, cfg)
+}
+
+// RestoreInto is Restore writing the restored frame into dst, which must
+// match y's geometry and not alias it. The restoration loop runs entirely
+// in model-held scratch (iterate, estimate, noise, schedule, RNG), so with
+// the scratch warm a per-frame restoration allocates nothing — the defense
+// side of the closed-loop latency budget.
+func (d *Diffusion) RestoreInto(dst, y *imaging.Image, cfg DiffPIRConfig) *imaging.Image {
+	if dst.C != y.C || dst.H != y.H || dst.W != y.W {
+		panic("defense: RestoreInto destination geometry mismatch")
+	}
+	if d.restoreRNG == nil {
+		d.restoreRNG = xrand.New(cfg.Seed)
+	} else {
+		d.restoreRNG.Reseed(cfg.Seed)
+	}
+	rng := d.restoreRNG
 	yT := y.Tensor()
 
 	t0 := int(cfg.StartFrac * float64(d.T))
@@ -168,18 +200,27 @@ func (d *Diffusion) Restore(y *imaging.Image, cfg DiffPIRConfig) *imaging.Image 
 	if steps > t0 {
 		steps = t0
 	}
-	schedule := make([]int, steps+1)
+	d.schedule = d.schedule[:0]
 	for i := 0; i <= steps; i++ {
-		schedule[i] = t0 - i*t0/steps
+		d.schedule = append(d.schedule, t0-i*t0/steps)
 	}
+	schedule := d.schedule
+
+	if d.rx == nil || !d.rx.SameShape(yT) {
+		d.rx = tensor.New(yT.Shape()...)
+		d.rx0 = tensor.New(yT.Shape()...)
+		d.rnoise = tensor.New(yT.Shape()...)
+	}
+	x, x0, noise := d.rx, d.rx0, d.rnoise
 
 	// Initialise x at timestep t0 from y.
 	ab0 := d.alphaBar[t0]
-	x := yT.Scale(float32(math.Sqrt(ab0)))
-	noise := tensor.New(yT.Shape()...)
+	copy(x.Data(), yT.Data())
+	x.ScaleInPlace(float32(math.Sqrt(ab0)))
 	rng.FillNormal(noise.Data(), 0, 1)
 	x.AddScaledInPlace(noise, float32(math.Sqrt(1-ab0)))
 
+	final := x
 	for i := 0; i < steps; i++ {
 		t := schedule[i]
 		tNext := schedule[i+1]
@@ -187,7 +228,7 @@ func (d *Diffusion) Restore(y *imaging.Image, cfg DiffPIRConfig) *imaging.Image 
 
 		// (1) Denoise: estimate x̂0 from the noise prediction.
 		eps := d.PredictNoise(x, t)
-		x0 := x.Clone()
+		copy(x0.Data(), x.Data())
 		x0.AddScaledInPlace(eps, float32(-math.Sqrt(1-ab)))
 		x0.ScaleInPlace(float32(1 / math.Sqrt(ab)))
 
@@ -203,23 +244,26 @@ func (d *Diffusion) Restore(y *imaging.Image, cfg DiffPIRConfig) *imaging.Image 
 		x0.AddScaledInPlace(yT, float32(wy))
 
 		if tNext <= 0 {
-			x = x0
+			final = x0
 			break
 		}
 
 		// (3) Re-noise to τ_{i+1}: mix the predicted noise direction with
-		// fresh noise according to ζ.
+		// fresh noise according to ζ. eps still lives in the UNet workspace
+		// (no model call happens in between), so it is read before the next
+		// PredictNoise overwrites it.
 		abn := d.alphaBar[tNext]
-		x = x0.Scale(float32(math.Sqrt(abn)))
-		fresh := tensor.New(yT.Shape()...)
-		rng.FillNormal(fresh.Data(), 0, 1)
+		copy(x.Data(), x0.Data())
+		x.ScaleInPlace(float32(math.Sqrt(abn)))
+		rng.FillNormal(noise.Data(), 0, 1)
 		coef := math.Sqrt(1 - abn)
 		x.AddScaledInPlace(eps, float32(coef*math.Sqrt(1-cfg.Zeta)))
-		x.AddScaledInPlace(fresh, float32(coef*math.Sqrt(cfg.Zeta)))
+		x.AddScaledInPlace(noise, float32(coef*math.Sqrt(cfg.Zeta)))
+		final = x
 	}
 
-	out := imaging.FromTensor(x)
-	return out.Clamp()
+	copy(dst.Pix, final.Data())
+	return dst.Clamp()
 }
 
 // DiffPIRDefense adapts Restore to the Preprocessor interface so the
@@ -230,7 +274,7 @@ type DiffPIRDefense struct {
 	Cfg   DiffPIRConfig
 }
 
-var _ Preprocessor = (*DiffPIRDefense)(nil)
+var _ IntoPreprocessor = (*DiffPIRDefense)(nil)
 
 // Name implements Preprocessor.
 func (d *DiffPIRDefense) Name() string { return "Diffusion (DiffPIR)" }
@@ -238,4 +282,11 @@ func (d *DiffPIRDefense) Name() string { return "Diffusion (DiffPIR)" }
 // Process implements Preprocessor.
 func (d *DiffPIRDefense) Process(img *imaging.Image) *imaging.Image {
 	return d.Model.Restore(img, d.Cfg)
+}
+
+// ProcessInto implements IntoPreprocessor: the closed-loop pipeline hands
+// DiffPIR one destination frame, and with the restoration scratch warm the
+// per-frame defense allocates nothing.
+func (d *DiffPIRDefense) ProcessInto(dst, img *imaging.Image) *imaging.Image {
+	return d.Model.RestoreInto(dst, img, d.Cfg)
 }

@@ -31,6 +31,9 @@ type UNet struct {
 	// forward caches
 	e1, e2 *tensor.Tensor
 
+	// reusable skip-concat buffers (sized lazily; a Clone gets fresh ones)
+	cat2buf, cat1buf *tensor.Tensor
+
 	params []*nn.Param // lazy cache for the per-step grad reset
 }
 
@@ -101,8 +104,8 @@ func (u *UNet) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	u.e2 = u.enc2.Forward(u.e1, train)
 	e3 := u.enc3.Forward(u.e2, train)
 	m := u.mid.Forward(e3, train)
-	d2 := u.dec2.Forward(concatC(u.up2.Forward(m, train), u.e2), train)
-	d1 := u.dec1.Forward(concatC(u.up1.Forward(d2, train), u.e1), train)
+	d2 := u.dec2.Forward(concatCInto(&u.cat2buf, u.up2.Forward(m, train), u.e2), train)
+	d1 := u.dec1.Forward(concatCInto(&u.cat1buf, u.up1.Forward(d2, train), u.e1), train)
 	return u.out.Forward(d1, train)
 }
 
@@ -134,14 +137,19 @@ func (u *UNet) Clone() *UNet {
 	}
 }
 
-// concatC concatenates two CHW tensors along the channel axis.
-func concatC(a, b *tensor.Tensor) *tensor.Tensor {
+// concatCInto concatenates two CHW tensors along the channel axis into a
+// caller-held buffer, (re)allocated only when the shape changes, so
+// steady-state UNet forwards don't allocate for the skip connections.
+func concatCInto(buf **tensor.Tensor, a, b *tensor.Tensor) *tensor.Tensor {
 	if a.Dim(1) != b.Dim(1) || a.Dim(2) != b.Dim(2) {
 		panic(fmt.Sprintf("defense: concat spatial mismatch %v vs %v", a.Shape(), b.Shape()))
 	}
 	ca, cb := a.Dim(0), b.Dim(0)
 	h, w := a.Dim(1), a.Dim(2)
-	out := tensor.New(ca+cb, h, w)
+	if *buf == nil || !(*buf).ShapeEq(ca+cb, h, w) {
+		*buf = tensor.New(ca+cb, h, w)
+	}
+	out := *buf
 	copy(out.Data()[:ca*h*w], a.Data())
 	copy(out.Data()[ca*h*w:], b.Data())
 	return out

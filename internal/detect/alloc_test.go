@@ -1,0 +1,67 @@
+package detect
+
+import (
+	"testing"
+
+	"repro/internal/box"
+	"repro/internal/imaging"
+	"repro/internal/testenv"
+	"repro/internal/xrand"
+)
+
+// TestTrainLossSteadyStateAllocs guards the attack primitive's budget:
+// once the model workspace and the detector's loss scratch are warm, a
+// full TrainLoss (forward + loss encode + backward) must not allocate —
+// the ROADMAP leftover this PR closes.
+func TestTrainLossSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	d := New(xrand.New(3), 32)
+	img := imaging.NewRGB(32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%31) * 0.03
+	}
+	gt := []box.Box{box.New(8, 8, 24, 24)}
+	d.TrainLoss(img, gt) // size workspace and loss scratch
+	if avg := testing.AllocsPerRun(50, func() { d.TrainLoss(img, gt) }); avg >= 1 {
+		t.Fatalf("TrainLoss allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestLossGradScratchMatchesTargets pins the scratch-backed LossGrad to the
+// allocating Targets encoding: reusing buffers must not change the loss.
+func TestLossGradScratchMatchesTargets(t *testing.T) {
+	d := New(xrand.New(4), 32)
+	img := imaging.NewRGB(32, 32)
+	for i := range img.Pix {
+		img.Pix[i] = float32(i%17) * 0.05
+	}
+	raw := d.Forward(img).Clone()
+	gtA := []box.Box{box.New(4, 4, 16, 16)}
+	lossA1, gradA := d.LossGrad(raw, gtA)
+	gA := append([]float32(nil), gradA.Data()...)
+
+	// A different ground truth in between must fully re-encode the scratch.
+	d.LossGrad(raw, nil)
+	lossA2, gradA2 := d.LossGrad(raw, gtA)
+	if lossA1 != lossA2 {
+		t.Fatalf("scratch reuse changed the loss: %v vs %v", lossA1, lossA2)
+	}
+	for i := range gA {
+		if gradA2.Data()[i] != gA[i] {
+			t.Fatalf("scratch reuse changed the gradient at %d", i)
+		}
+	}
+
+	target, weight := d.Targets(gtA)
+	lossB, gradB := d.lossWithTargets(raw, target, weight)
+	if lossB != lossA1 {
+		t.Fatalf("Targets path loss %v vs scratch path %v", lossB, lossA1)
+	}
+	for i := range gA {
+		if gradB.Data()[i] != gA[i] {
+			t.Fatalf("Targets path gradient differs at %d", i)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package detect
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/xrand"
+)
+
+// testFrames renders n deterministic pseudo-frames.
+func testFrames(n, size int) []*imaging.Image {
+	rng := xrand.New(61)
+	imgs := make([]*imaging.Image, n)
+	for i := range imgs {
+		img := imaging.NewRGB(size, size)
+		rng.FillUniform(img.Pix, 0, 1)
+		imgs[i] = img
+	}
+	return imgs
+}
+
+// TestDetectorBatchBitIdentical: the batched forward and decode of N
+// frames must match N per-frame detections exactly, across GOMAXPROCS
+// (kernel choice is shape-gated, never worker-count-gated).
+func TestDetectorBatchBitIdentical(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		d := New(xrand.New(9), 32)
+		imgs := testFrames(11, 32) // spans a full chunk plus a tail
+		single := d.Clone()
+
+		batched := d.DetectBatch(imgs, 0.05)
+		for i, img := range imgs {
+			want := single.Detect(img, 0.05)
+			got := batched[i]
+			if len(got) != len(want) {
+				t.Fatalf("procs=%d frame %d: %d dets batched vs %d single", procs, i, len(got), len(want))
+			}
+			for j := range want {
+				if got[j].Score != want[j].Score || got[j].Box != want[j].Box {
+					t.Fatalf("procs=%d frame %d det %d differs: %+v vs %+v", procs, i, j, got[j], want[j])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestDetectorForwardBatchRaw pins the raw batched maps to per-frame
+// Forward outputs bit for bit.
+func TestDetectorForwardBatchRaw(t *testing.T) {
+	d := New(xrand.New(10), 32)
+	imgs := testFrames(5, 32)
+	single := d.Clone()
+
+	raw := d.ForwardBatch(imgs)
+	plane := raw.Len() / len(imgs)
+	for i, img := range imgs {
+		want := single.Forward(img)
+		row := raw.Data()[i*plane : (i+1)*plane]
+		for j, v := range row {
+			if v != want.Data()[j] {
+				t.Fatalf("frame %d raw elem %d: %v vs %v", i, j, v, want.Data()[j])
+			}
+		}
+	}
+}

@@ -40,7 +40,22 @@ type Detector struct {
 	Net  *nn.Sequential
 	Size int // input image side (pixels)
 	Grid int // grid side (cells)
+
+	batchBuf *tensor.Tensor // reusable [N,3,S,S] input pack for ForwardBatch
+
+	// Reusable loss scratch: LossGrad/TrainLoss encode targets and build
+	// the raw-map gradient into these, so steady-state attack and training
+	// loops never touch the allocator. The tensors follow the workspace
+	// retention rule: a returned gradient is valid until the next
+	// LossGrad/TrainLoss call on this detector.
+	lossTarget *tensor.Tensor
+	lossWeight *tensor.Tensor
+	lossGrad   *tensor.Tensor
 }
+
+// BatchSize is the frame count DetectBatch feeds the network per forward,
+// sized like regress.BatchSize to keep the batched workspaces in cache.
+const BatchSize = 8
 
 // New builds a TinyDet for size×size RGB inputs. The backbone is three
 // stride-2 convolutions (size/8 grid) followed by a 1×1 prediction head.
@@ -79,11 +94,63 @@ func (d *Detector) Forward(img *imaging.Image) *tensor.Tensor {
 	return d.Net.Forward(img.Tensor(), false)
 }
 
+// ForwardBatch packs the given frames into one [N,3,S,S] tensor and runs a
+// single batched forward, returning the raw [N,5,G,G] prediction maps
+// (owned by the model workspace, valid until the next model call). Results
+// are bit-identical per frame to Forward.
+func (d *Detector) ForwardBatch(imgs []*imaging.Image) *tensor.Tensor {
+	n := len(imgs)
+	if d.batchBuf == nil || !d.batchBuf.ShapeEq(n, 3, d.Size, d.Size) {
+		d.batchBuf = tensor.New(n, 3, d.Size, d.Size)
+	}
+	sample := 3 * d.Size * d.Size
+	bd := d.batchBuf.Data()
+	for i, img := range imgs {
+		if len(img.Pix) != sample {
+			panic(fmt.Sprintf("detect: ForwardBatch frame %d has %d pixels, want %d", i, len(img.Pix), sample))
+		}
+		copy(bd[i*sample:(i+1)*sample], img.Pix)
+	}
+	return d.Net.Forward(d.batchBuf, false)
+}
+
 // Detect runs the detector and decodes boxes with the given confidence
 // threshold, applying NMS at IoU 0.45.
 func (d *Detector) Detect(img *imaging.Image, minScore float64) []metrics.Detection {
 	raw := d.Forward(img)
 	return d.Decode(raw, minScore)
+}
+
+// DetectBatch detects over every frame, feeding the network BatchSize
+// frames per forward pass and decoding each sample's map. The decoded
+// boxes are identical to per-frame Detect calls. A final short block is
+// padded to BatchSize by repeating the last frame (padding outputs are
+// discarded), so the batched workspaces keep one shape across calls
+// instead of reallocating between the tail and the next full block.
+func (d *Detector) DetectBatch(imgs []*imaging.Image, minScore float64) [][]metrics.Detection {
+	out := make([][]metrics.Detection, len(imgs))
+	plane := numCh * d.Grid * d.Grid
+	var padded [BatchSize]*imaging.Image
+	for lo := 0; lo < len(imgs); lo += BatchSize {
+		hi := lo + BatchSize
+		block := imgs[lo:]
+		if hi > len(imgs) {
+			hi = len(imgs)
+			n := copy(padded[:], imgs[lo:])
+			for i := n; i < BatchSize; i++ {
+				padded[i] = imgs[len(imgs)-1]
+			}
+			block = padded[:]
+		} else {
+			block = imgs[lo:hi]
+		}
+		raw := d.ForwardBatch(block)
+		for i := 0; i < hi-lo; i++ {
+			view := tensor.FromSlice(raw.Data()[i*plane:(i+1)*plane], numCh, d.Grid, d.Grid)
+			out[lo+i] = d.Decode(view, minScore)
+		}
+	}
+	return out
 }
 
 // Decode converts a raw prediction map into scored, NMS-filtered boxes.
@@ -139,17 +206,32 @@ func NMS(dets []metrics.Detection, iouThresh float64) []metrics.Detection {
 }
 
 // Targets encodes ground-truth boxes into the (5,G,G) target map and the
-// per-element loss weights.
+// per-element loss weights, as fresh tensors the caller owns.
 func (d *Detector) Targets(gt []box.Box) (target, weight *tensor.Tensor) {
 	g := d.Grid
-	cell := float64(d.Size) / float64(g)
 	target = tensor.New(numCh, g, g)
 	weight = tensor.New(numCh, g, g)
+	d.targetsInto(target, weight, gt)
+	return target, weight
+}
+
+// targetsInto encodes ground truth into caller-held (5,G,G) tensors,
+// overwriting their previous contents — the allocation-free body of
+// Targets that LossGrad's scratch path reuses every call. Elements are
+// addressed through the raw storage (variadic Set escapes its index
+// slice, which would put ~G² allocations on the attack hot path).
+func (d *Detector) targetsInto(target, weight *tensor.Tensor, gt []box.Box) {
+	g := d.Grid
+	plane := g * g
+	cell := float64(d.Size) / float64(g)
+	target.Zero()
+	weight.Zero()
+	tD := target.Data()
+	wD := weight.Data()
 	// Background objectness weight everywhere, overwritten at positives.
-	for gy := 0; gy < g; gy++ {
-		for gx := 0; gx < g; gx++ {
-			weight.Set(wNegativeObj, chObj, gy, gx)
-		}
+	objPlane := wD[chObj*plane : (chObj+1)*plane]
+	for i := range objPlane {
+		objPlane[i] = wNegativeObj
 	}
 	for _, b := range gt {
 		if b.Empty() {
@@ -160,32 +242,43 @@ func (d *Detector) Targets(gt []box.Box) (target, weight *tensor.Tensor) {
 		if gx < 0 || gx >= g || gy < 0 || gy >= g {
 			continue
 		}
-		target.Set(1, chObj, gy, gx)
-		weight.Set(wPositiveObj, chObj, gy, gx)
-		target.Set(float32(b.CX()/cell-float64(gx)), chTX, gy, gx)
-		target.Set(float32(b.CY()/cell-float64(gy)), chTY, gy, gx)
-		target.Set(float32(b.W()/float64(d.Size)), chTW, gy, gx)
-		target.Set(float32(b.H()/float64(d.Size)), chTH, gy, gx)
+		at := gy*g + gx
+		tD[chObj*plane+at] = 1
+		wD[chObj*plane+at] = wPositiveObj
+		tD[chTX*plane+at] = float32(b.CX()/cell - float64(gx))
+		tD[chTY*plane+at] = float32(b.CY()/cell - float64(gy))
+		tD[chTW*plane+at] = float32(b.W() / float64(d.Size))
+		tD[chTH*plane+at] = float32(b.H() / float64(d.Size))
 		for c := chTX; c <= chTH; c++ {
-			weight.Set(wBox, c, gy, gx)
+			wD[c*plane+at] = wBox
 		}
 	}
-	return target, weight
 }
 
 // LossGrad computes the detection loss of a raw prediction map against
 // ground truth, returning the loss and its gradient w.r.t. the raw map.
 // The objectness channel uses weighted BCE on logits; box channels use
-// weighted MSE restricted to positive cells.
+// weighted MSE restricted to positive cells. Targets and gradient live in
+// reusable detector scratch, so steady-state calls allocate nothing; the
+// returned gradient is valid until the next LossGrad/TrainLoss call.
 func (d *Detector) LossGrad(raw *tensor.Tensor, gt []box.Box) (float64, *tensor.Tensor) {
-	target, weight := d.Targets(gt)
-	return d.lossWithTargets(raw, target, weight)
+	g := d.Grid
+	if d.lossTarget == nil || !d.lossTarget.ShapeEq(numCh, g, g) {
+		d.lossTarget = tensor.New(numCh, g, g)
+		d.lossWeight = tensor.New(numCh, g, g)
+	}
+	d.targetsInto(d.lossTarget, d.lossWeight, gt)
+	return d.lossWithTargets(raw, d.lossTarget, d.lossWeight)
 }
 
 func (d *Detector) lossWithTargets(raw, target, weight *tensor.Tensor) (float64, *tensor.Tensor) {
 	g := d.Grid
 	plane := g * g
-	grad := tensor.New(numCh, g, g)
+	if d.lossGrad == nil || !d.lossGrad.ShapeEq(numCh, g, g) {
+		d.lossGrad = tensor.New(numCh, g, g)
+	}
+	grad := d.lossGrad
+	grad.Zero()
 	rawD := raw.Data()
 	tD := target.Data()
 	wD := weight.Data()

@@ -124,24 +124,28 @@ func (d *Detector) TrainImages(imgs []*imaging.Image, gts [][]Box, cfg TrainConf
 }
 
 // Evaluate runs the detector over a set and returns the paper's three
-// detection metrics at the given confidence threshold.
+// detection metrics at the given confidence threshold. Frames run through
+// the batched forward path (bit-identical to per-frame detection).
 func (d *Detector) Evaluate(set *dataset.SignSet, scoreThresh float64) metrics.DetectionScores {
+	imgs := make([]*imaging.Image, set.Len())
+	for i, sc := range set.Scenes {
+		imgs[i] = sc.Img
+	}
+	dets := d.DetectBatch(imgs, 0.05) // low floor so AP sweep sees the full curve
 	evals := make([]metrics.ImageEval, set.Len())
 	for i, sc := range set.Scenes {
-		evals[i] = metrics.ImageEval{
-			Dets: d.Detect(sc.Img, 0.05), // low floor so AP sweep sees the full curve
-			GT:   gtBoxes(sc),
-		}
+		evals[i] = metrics.ImageEval{Dets: dets[i], GT: gtBoxes(sc)}
 	}
 	return metrics.EvalDetections(evals, scoreThresh)
 }
 
 // EvaluateImages evaluates on explicit image/GT pairs (used when images
-// have been attacked or defended).
+// have been attacked or defended), batching frames through the detector.
 func (d *Detector) EvaluateImages(imgs []*imaging.Image, gts [][]Box, scoreThresh float64) metrics.DetectionScores {
+	dets := d.DetectBatch(imgs, 0.05)
 	evals := make([]metrics.ImageEval, len(imgs))
 	for i := range imgs {
-		evals[i] = metrics.ImageEval{Dets: d.Detect(imgs[i], 0.05), GT: gts[i]}
+		evals[i] = metrics.ImageEval{Dets: dets[i], GT: gts[i]}
 	}
 	return metrics.EvalDetections(evals, scoreThresh)
 }

@@ -149,10 +149,20 @@ type MatrixReport struct {
 	Cells  []MatrixCell
 }
 
-// RunMatrix expands the grid and executes every cell on the worker pool,
-// one cloned regressor per worker and a deterministic seed per cell, so
-// the report is bit-identical across runs and across GOMAXPROCS settings.
-func (e *Env) RunMatrix(cfg MatrixConfig) MatrixReport {
+// cellSpec is one expanded grid point together with its deterministic
+// seed, derived from the cell's global grid index so any decomposition of
+// the grid — full matrix run or sharded sweep — executes identical cells.
+type cellSpec struct {
+	index    int
+	seed     int64
+	scenario pipeline.Scenario
+	attack   AttackSpec
+	defense  DefenseSpec
+}
+
+// expandGrid resolves the config's axes against the defaults and expands
+// the scenario-major × attack × defense grid with per-cell seeds.
+func (e *Env) expandGrid(cfg MatrixConfig) []cellSpec {
 	scenarios := cfg.Scenarios
 	if len(scenarios) == 0 {
 		scenarios = pipeline.Scenarios()
@@ -169,31 +179,43 @@ func (e *Env) RunMatrix(cfg MatrixConfig) MatrixReport {
 	if baseSeed == 0 {
 		baseSeed = e.Preset.Seed + 1700
 	}
-
-	// Defenses backed by lazily trained models (DiffPIR's diffusion
-	// prior) train on first construction; building one throwaway instance
-	// of each spec here keeps that (deterministic, Once-guarded) training
-	// out of the parallel section instead of stalling the first cell that
-	// needs it.
-	for _, d := range defenses {
-		if d.New != nil {
-			d.New(e, baseSeed)
-		}
-	}
-
-	type cellSpec struct {
-		scenario pipeline.Scenario
-		attack   AttackSpec
-		defense  DefenseSpec
-	}
-	var specs []cellSpec
+	specs := make([]cellSpec, 0, len(scenarios)*len(attacks)*len(defenses))
 	for _, sc := range scenarios {
 		for _, at := range attacks {
 			for _, df := range defenses {
-				specs = append(specs, cellSpec{sc, at, df})
+				i := len(specs)
+				specs = append(specs, cellSpec{
+					index: i, seed: baseSeed + int64(i)*cellSeedStride,
+					scenario: sc, attack: at, defense: df,
+				})
 			}
 		}
 	}
+	return specs
+}
+
+// warmDefenses builds one throwaway instance of every defense appearing in
+// specs. Defenses backed by lazily trained models (DiffPIR's diffusion
+// prior) train on first construction; doing it here keeps that
+// (deterministic, Once-guarded) training out of the parallel section
+// instead of stalling the first cell that needs it — and a shard whose
+// remaining cells never use a heavy defense skips its training entirely.
+func (e *Env) warmDefenses(specs []cellSpec) {
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.defense.New != nil && !seen[s.defense.Name] {
+			seen[s.defense.Name] = true
+			s.defense.New(e, s.seed)
+		}
+	}
+}
+
+// RunMatrix expands the grid and executes every cell on the worker pool,
+// one cloned regressor per worker and a deterministic seed per cell, so
+// the report is bit-identical across runs and across GOMAXPROCS settings.
+func (e *Env) RunMatrix(cfg MatrixConfig) MatrixReport {
+	specs := e.expandGrid(cfg)
+	e.warmDefenses(specs)
 
 	rep := MatrixReport{Preset: e.Preset.Name, Cells: make([]MatrixCell, len(specs))}
 	workers := make([]*regress.Regressor, maxWorkers(len(specs)))
@@ -202,8 +224,7 @@ func (e *Env) RunMatrix(cfg MatrixConfig) MatrixReport {
 	}
 	parallelMap(len(specs), func(w, i int) {
 		s := specs[i]
-		seed := baseSeed + int64(i)*cellSeedStride
-		rep.Cells[i] = e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg, seed)
+		rep.Cells[i] = e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg, s.seed)
 		e.logf("matrix: %s / %s / %s done (%d/%d)", s.scenario.Name, s.attack.Name, s.defense.Name, i+1, len(specs))
 	})
 	return rep

@@ -1,0 +1,376 @@
+package eval
+
+// This file implements the sharded sweep runtime: the scenario × attack ×
+// defense grid split into deterministic shards, streaming per-cell results
+// as JSONL with checkpoint/resume. A sweep over N shards runs the same
+// grid as one RunMatrix call — cell seeds derive from the global grid
+// index, so the decomposition never changes the numbers — and an
+// interrupted shard restarts by replaying its checkpoint and executing
+// only missing cells.
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+
+	"repro/internal/regress"
+	"repro/internal/sim"
+)
+
+// SweepConfig declares one shard of a sweep over the evaluation grid.
+type SweepConfig struct {
+	Matrix MatrixConfig
+
+	// Shard/NumShards select the cells this process runs: cell i belongs
+	// to shard i mod NumShards (round-robin, which balances scenarios of
+	// different cost across shards). NumShards 0 means 1.
+	Shard     int
+	NumShards int
+
+	// JSONL is the checkpoint stream: every finished cell is appended as
+	// one JSON line. Empty disables checkpointing.
+	JSONL string
+	// Resume replays JSONL before running and executes only the shard's
+	// missing cells. The checkpoint is validated against the expanded grid
+	// (index, seed and axis names must match), so a stale file from a
+	// different grid fails loudly instead of silently merging.
+	Resume bool
+}
+
+// PaperSweepConfig returns the paper-preset sweep shard: the full scenario
+// registry against the default attack and defense axes with a fixed base
+// seed, so shards executed on different machines (or re-run after an
+// interrupt) always assemble into the same grid.
+func PaperSweepConfig(shard, numShards int, jsonl string) SweepConfig {
+	return SweepConfig{
+		Matrix:    MatrixConfig{BaseSeed: 424243},
+		Shard:     shard,
+		NumShards: numShards,
+		JSONL:     jsonl,
+		Resume:    true,
+	}
+}
+
+// SweepReport is one shard's slice of the grid, ordered by global index.
+type SweepReport struct {
+	Preset    string
+	Total     int // full grid size
+	Shard     int
+	NumShards int
+
+	Indices []int        // global grid indices this shard covers
+	Cells   []MatrixCell // aligned with Indices
+	Resumed int          // cells loaded from the checkpoint instead of run
+}
+
+// Matrix adapts the shard's cells to MatrixReport for formatting.
+func (r SweepReport) Matrix() MatrixReport {
+	return MatrixReport{Preset: r.Preset, Cells: r.Cells}
+}
+
+// sweepRecord is the JSONL line schema. Preset, Duration and DT pin the
+// run configuration that produced the cell, so a resume under a different
+// configuration is rejected instead of silently merging incompatible
+// trajectories (cell index/seed/axis names alone can collide across
+// configs — -paper-sweep even fixes the base seed by design).
+type sweepRecord struct {
+	Index    int       `json:"index"`
+	Seed     int64     `json:"seed"`
+	Preset   string    `json:"preset"`
+	Duration float64   `json:"duration"`
+	DT       float64   `json:"dt"`
+	Cell     sweepCell `json:"cell"`
+}
+
+// jfloat is a float64 whose JSON round-trips IEEE infinities (MinTTC is
+// +Inf whenever the gap never closes, which encoding/json rejects).
+type jfloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jfloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *jfloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+Inf"`:
+		*f = jfloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = jfloat(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = jfloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = jfloat(v)
+	return nil
+}
+
+// sweepCell mirrors MatrixCell with infinity-safe floats.
+type sweepCell struct {
+	Scenario string `json:"scenario"`
+	Attack   string `json:"attack"`
+	Defense  string `json:"defense"`
+	Seed     int64  `json:"seed"`
+
+	Collision  bool   `json:"collision"`
+	MinGap     jfloat `json:"min_gap_m"`
+	MinTTC     jfloat `json:"min_ttc_s"`
+	MeanGapErr jfloat `json:"mean_gap_err_m"`
+	Steps      int    `json:"steps"`
+
+	Result sweepResult `json:"result"`
+}
+
+// sweepResult mirrors sim.Result.
+type sweepResult struct {
+	Times         []float64 `json:"times"`
+	TrueGaps      []float64 `json:"true_gaps"`
+	PerceivedGaps []float64 `json:"perceived_gaps"`
+	EgoSpeeds     []float64 `json:"ego_speeds"`
+	LeadSpeeds    []float64 `json:"lead_speeds"`
+	MinGap        jfloat    `json:"min_gap"`
+	MinTTC        jfloat    `json:"min_ttc"`
+	Collision     bool      `json:"collision"`
+}
+
+func toSweepCell(c MatrixCell) sweepCell {
+	return sweepCell{
+		Scenario: c.Scenario, Attack: c.Attack, Defense: c.Defense, Seed: c.Seed,
+		Collision: c.Collision, MinGap: jfloat(c.MinGap), MinTTC: jfloat(c.MinTTC),
+		MeanGapErr: jfloat(c.MeanGapErr), Steps: c.Steps,
+		Result: sweepResult{
+			Times: c.Result.Times, TrueGaps: c.Result.TrueGaps,
+			PerceivedGaps: c.Result.PerceivedGaps, EgoSpeeds: c.Result.EgoSpeeds,
+			LeadSpeeds: c.Result.LeadSpeeds,
+			MinGap:     jfloat(c.Result.MinGap), MinTTC: jfloat(c.Result.MinTTC),
+			Collision: c.Result.Collision,
+		},
+	}
+}
+
+func fromSweepCell(c sweepCell) MatrixCell {
+	return MatrixCell{
+		Scenario: c.Scenario, Attack: c.Attack, Defense: c.Defense, Seed: c.Seed,
+		Collision: c.Collision, MinGap: float64(c.MinGap), MinTTC: float64(c.MinTTC),
+		MeanGapErr: float64(c.MeanGapErr), Steps: c.Steps,
+		Result: sim.Result{
+			Times: c.Result.Times, TrueGaps: c.Result.TrueGaps,
+			PerceivedGaps: c.Result.PerceivedGaps, EgoSpeeds: c.Result.EgoSpeeds,
+			LeadSpeeds: c.Result.LeadSpeeds,
+			MinGap:     float64(c.Result.MinGap), MinTTC: float64(c.Result.MinTTC),
+			Collision: c.Result.Collision,
+		},
+	}
+}
+
+// RunSweep executes this shard of the grid, streaming each finished cell
+// to the JSONL checkpoint and (with Resume) skipping cells the checkpoint
+// already holds. The returned report's cells are ordered by global grid
+// index and are bit-identical to the corresponding RunMatrix cells — an
+// interrupted-and-resumed shard produces exactly the cells of an
+// uninterrupted run.
+func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
+	numShards := cfg.NumShards
+	if numShards <= 0 {
+		numShards = 1
+	}
+	if cfg.Shard < 0 || cfg.Shard >= numShards {
+		return SweepReport{}, fmt.Errorf("sweep: shard %d out of range 0..%d", cfg.Shard, numShards-1)
+	}
+
+	specs := e.expandGrid(cfg.Matrix)
+	rep := SweepReport{
+		Preset: e.Preset.Name, Total: len(specs),
+		Shard: cfg.Shard, NumShards: numShards,
+	}
+
+	// This shard's cells, round-robin over the global index.
+	var mine []cellSpec
+	for _, s := range specs {
+		if s.index%numShards == cfg.Shard {
+			mine = append(mine, s)
+		}
+	}
+
+	done := map[int]MatrixCell{}
+	validLen := int64(0)
+	if cfg.Resume && cfg.JSONL != "" {
+		var err error
+		done, validLen, err = loadSweepCheckpoint(cfg.JSONL, specs, e.Preset.Name, cfg.Matrix)
+		if err != nil {
+			return SweepReport{}, err
+		}
+	}
+
+	var todo []cellSpec
+	for _, s := range mine {
+		if _, ok := done[s.index]; !ok {
+			todo = append(todo, s)
+		}
+	}
+	e.warmDefenses(todo)
+
+	var sink *json.Encoder
+	var flush func() error
+	if cfg.JSONL != "" && len(todo) > 0 {
+		if cfg.Resume {
+			// Repair a torn tail (a record cut off by the interrupt this
+			// resume recovers from): drop everything past the last complete
+			// line so appended records start on a fresh line.
+			if st, err := os.Stat(cfg.JSONL); err == nil && st.Size() > validLen {
+				if err := os.Truncate(cfg.JSONL, validLen); err != nil {
+					return SweepReport{}, fmt.Errorf("sweep: repair checkpoint tail: %w", err)
+				}
+			}
+		}
+		mode := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		if !cfg.Resume {
+			mode |= os.O_TRUNC // fresh run: never mix grids in one stream
+		}
+		f, err := os.OpenFile(cfg.JSONL, mode, 0o644)
+		if err != nil {
+			return SweepReport{}, fmt.Errorf("sweep: open checkpoint: %w", err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		sink = json.NewEncoder(w)
+		flush = w.Flush
+	}
+
+	fresh := make([]MatrixCell, len(todo))
+	workers := make([]*regress.Regressor, maxWorkers(len(todo)))
+	for i := range workers {
+		workers[i] = e.Reg.Clone()
+	}
+	var mu sync.Mutex
+	var writeErr error
+	parallelMap(len(todo), func(w, k int) {
+		s := todo[k]
+		cell := e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg.Matrix, s.seed)
+		fresh[k] = cell
+		if sink != nil {
+			mu.Lock()
+			// Stream in completion order; the report reorders by index.
+			err := sink.Encode(sweepRecord{
+				Index: s.index, Seed: s.seed, Preset: e.Preset.Name,
+				Duration: cfg.Matrix.Duration, DT: cfg.Matrix.DT,
+				Cell: toSweepCell(cell),
+			})
+			if err == nil {
+				err = flush()
+			}
+			if err != nil && writeErr == nil {
+				writeErr = err
+			}
+			mu.Unlock()
+		}
+		e.logf("sweep: shard %d/%d cell %d (%s / %s / %s) done",
+			cfg.Shard, numShards, s.index, s.scenario.Name, s.attack.Name, s.defense.Name)
+	})
+	if writeErr != nil {
+		return SweepReport{}, fmt.Errorf("sweep: checkpoint write: %w", writeErr)
+	}
+
+	// Assemble the shard slice in global-index order.
+	next := 0
+	for _, s := range mine {
+		cell, ok := done[s.index]
+		if ok {
+			rep.Resumed++
+		} else {
+			cell = fresh[next]
+			next++
+		}
+		rep.Indices = append(rep.Indices, s.index)
+		rep.Cells = append(rep.Cells, cell)
+	}
+	return rep, nil
+}
+
+// loadSweepCheckpoint replays a JSONL stream, validating every record
+// against the expanded grid. It returns the recovered cells and the byte
+// length of the stream's valid prefix: a truncated trailing line (a write
+// cut off by the interrupt the resume is recovering from) is tolerated and
+// excluded from the prefix, so the caller can repair the tail before
+// appending; any other malformed or mismatching record is an error.
+func loadSweepCheckpoint(path string, specs []cellSpec, preset string, m MatrixConfig) (map[int]MatrixCell, int64, error) {
+	buf, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]MatrixCell{}, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
+	}
+
+	done := map[int]MatrixCell{}
+	validLen := int64(0)
+	lineNo := 0
+	for start := 0; start < len(buf); {
+		end := start
+		for end < len(buf) && buf[end] != '\n' {
+			end++
+		}
+		line := buf[start:end]
+		terminated := end < len(buf)
+		lineNo++
+
+		if len(line) > 0 {
+			var rec sweepRecord
+			if err := json.Unmarshal(line, &rec); err != nil {
+				if !terminated {
+					// Torn tail: the interrupt cut this write short. Stop
+					// here; the valid prefix ends at the previous line.
+					break
+				}
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
+			}
+			if rec.Index < 0 || rec.Index >= len(specs) {
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell index %d outside grid of %d", path, lineNo, rec.Index, len(specs))
+			}
+			if rec.Preset != preset || rec.Duration != m.Duration || rec.DT != m.DT {
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: written under preset=%s duration=%v dt=%v, resuming with preset=%s duration=%v dt=%v — stale checkpoint?",
+					path, lineNo, rec.Preset, rec.Duration, rec.DT, preset, m.Duration, m.DT)
+			}
+			s := specs[rec.Index]
+			if rec.Seed != s.seed || rec.Cell.Scenario != s.scenario.Name ||
+				rec.Cell.Attack != s.attack.Name || rec.Cell.Defense != s.defense.Name {
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell %d (%s/%s/%s seed %d) does not match the configured grid (%s/%s/%s seed %d) — stale checkpoint?",
+					path, lineNo, rec.Index, rec.Cell.Scenario, rec.Cell.Attack, rec.Cell.Defense, rec.Seed,
+					s.scenario.Name, s.attack.Name, s.defense.Name, s.seed)
+			}
+			if terminated {
+				// An unterminated record — even one that parses — is not
+				// counted done: the truncation repair drops it, and the
+				// resumed run re-executes and re-streams that cell.
+				done[rec.Index] = fromSweepCell(rec.Cell)
+			}
+		}
+
+		if !terminated {
+			break
+		}
+		start = end + 1
+		validLen = int64(start)
+	}
+	return done, validLen, nil
+}

@@ -12,24 +12,49 @@ import (
 // distance buckets.
 type RangeErrs [4]float64
 
+// blockRange returns the index window of block bi when n items are split
+// into blocks of size.
+func blockRange(bi, size, n int) (lo, hi int) {
+	lo = bi * size
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
 // rangeErrsFrom evaluates attack-induced prediction shift per bucket:
 // pred(processed attacked frame) − pred(clean frame), averaged per range.
+// The set is split into BatchSize blocks that run on the worker pool, and
+// each block's clean and attacked frames go through one batched forward —
+// bit-identical to per-frame prediction, so table numbers are unchanged.
 func rangeErrsFrom(reg *regress.Regressor, env *Env, attacked []*imaging.Image, prep defense.Preprocessor) RangeErrs {
 	acc := metrics.NewRangeAccumulator(env.Ranges())
 	n := env.DriveTest.Len()
 	errs := make([]float64, n)
-	workers := make([]*regress.Regressor, maxWorkers(n))
+	blocks := (n + regress.BatchSize - 1) / regress.BatchSize
+	workers := make([]*regress.Regressor, maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = reg.Clone()
 	}
-	parallelMap(n, func(w, i int) {
+	parallelMap(blocks, func(w, bi int) {
 		r := workers[w]
-		sc := env.DriveTest.Scenes[i]
-		img := attacked[i]
-		if prep != nil {
-			img = prep.Process(img)
+		lo, hi := blockRange(bi, regress.BatchSize, n)
+		clean := make([]*imaging.Image, hi-lo)
+		adv := make([]*imaging.Image, hi-lo)
+		for i := lo; i < hi; i++ {
+			clean[i-lo] = env.DriveTest.Scenes[i].Img
+			img := attacked[i]
+			if prep != nil {
+				img = prep.Process(img)
+			}
+			adv[i-lo] = img
 		}
-		errs[i] = r.Predict(img) - r.Predict(sc.Img)
+		advP := r.PredictBatch(adv)
+		cleanP := r.PredictBatch(clean)
+		for i := lo; i < hi; i++ {
+			errs[i] = advP[i-lo] - cleanP[i-lo]
+		}
 	})
 	for i, sc := range env.DriveTest.Scenes {
 		acc.Add(sc.Distance, errs[i])
@@ -40,23 +65,33 @@ func rangeErrsFrom(reg *regress.Regressor, env *Env, attacked []*imaging.Image, 
 }
 
 // detScoresFrom evaluates detection metrics on (optionally defended)
-// attacked sign images against ground truth.
+// attacked sign images against ground truth, batching each worker block
+// through the detector's batched forward.
 func detScoresFrom(det *detect.Detector, env *Env, attacked []*imaging.Image, prep defense.Preprocessor) metrics.DetectionScores {
 	n := env.SignTestSet.Len()
 	evals := make([]metrics.ImageEval, n)
-	workers := make([]*detect.Detector, maxWorkers(n))
+	blocks := (n + detect.BatchSize - 1) / detect.BatchSize
+	workers := make([]*detect.Detector, maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = det.Clone()
 	}
-	parallelMap(n, func(w, i int) {
+	parallelMap(blocks, func(w, bi int) {
 		d := workers[w]
-		img := attacked[i]
-		if prep != nil {
-			img = prep.Process(img)
+		lo, hi := blockRange(bi, detect.BatchSize, n)
+		block := make([]*imaging.Image, hi-lo)
+		for i := lo; i < hi; i++ {
+			img := attacked[i]
+			if prep != nil {
+				img = prep.Process(img)
+			}
+			block[i-lo] = img
 		}
-		evals[i] = metrics.ImageEval{
-			Dets: d.Detect(img, 0.05),
-			GT:   detect.GTBoxes(env.SignTestSet.Scenes[i]),
+		dets := d.DetectBatch(block, 0.05)
+		for i := lo; i < hi; i++ {
+			evals[i] = metrics.ImageEval{
+				Dets: dets[i-lo],
+				GT:   detect.GTBoxes(env.SignTestSet.Scenes[i]),
+			}
 		}
 	})
 	return metrics.EvalDetections(evals, 0.5)

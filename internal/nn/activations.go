@@ -194,9 +194,11 @@ func (s *Sigmoid) Params() []*Param { return nil }
 // Clone implements Layer.
 func (s *Sigmoid) Clone() Layer { return &Sigmoid{} }
 
-// Flatten reshapes any input to a flat vector; backward restores the shape.
-// Both directions are views over the caller's storage, memoised so the
-// steady state allocates no fresh headers.
+// Flatten reshapes the input to a flat vector — or, for a rank-4 [N,C,H,W]
+// batch, to a [N, C·H·W] matrix so a following Linear sees one row per
+// sample. Backward restores the original shape. Both directions are views
+// over the caller's storage, memoised so the steady state allocates no
+// fresh headers.
 type Flatten struct {
 	lastShape []int
 	fwdView   viewCache
@@ -212,6 +214,9 @@ func NewFlatten() *Flatten { return &Flatten{} }
 func (f *Flatten) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if !x.ShapeEq(f.lastShape...) {
 		f.lastShape = x.Shape()
+	}
+	if x.Rank() == 4 {
+		return f.fwdView.of2(x, x.Dim(0), x.Len()/x.Dim(0))
 	}
 	return f.fwdView.of1(x)
 }

@@ -40,6 +40,22 @@ func BenchmarkSequentialForward(b *testing.B) {
 	}
 }
 
+// BenchmarkSequentialForwardBatch8 times one batched inference over 8
+// frames (one op = 8 frames); compare frames/s against
+// BenchmarkSequentialForward to see the batching win.
+func BenchmarkSequentialForwardBatch8(b *testing.B) {
+	net, _ := benchNet()
+	batch := tensor.New(8, 3, 64, 64)
+	for i := range batch.Data() {
+		batch.Data()[i] = float32(i%29) * 0.03
+	}
+	net.Forward(batch, false) // size the workspace outside the timed region
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(batch, false)
+	}
+}
+
 // BenchmarkSequentialForwardBackward times the attack primitive: one
 // forward plus one input-gradient backward pass.
 func BenchmarkSequentialForwardBackward(b *testing.B) {

@@ -7,11 +7,17 @@ import (
 	"repro/internal/xrand"
 )
 
-// Conv2D is a 2-D convolution over CHW tensors implemented with im2col so
-// the inner loop is a single matrix multiply. Weights are stored as an
-// (outC)×(inC·K·K) matrix; bias is per output channel. All per-call
-// tensors (columns, outputs, gradient scratch) live in the model workspace
-// and are reused across calls.
+// Conv2D is a 2-D convolution implemented with an im2col/im2row lowering so
+// the inner loop is a single matrix multiply. It is batch-first: a rank-4
+// [N,C,H,W] input runs the whole batch through one patch-major lowering and
+// one blocked MatMul; a rank-3 CHW input takes the original per-sample
+// column-major path. The two paths produce bit-identical values frame for
+// frame (every output element is the same ascending-k dot product plus one
+// bias rounding), so batching is purely a throughput decision.
+//
+// Weights are stored as an (outC)×(inC·K·K) matrix; bias is per output
+// channel. All per-call tensors (columns/patches, outputs, gradient
+// scratch) live in the model workspace and are reused across calls.
 type Conv2D struct {
 	InC, OutC   int
 	K           int
@@ -21,11 +27,14 @@ type Conv2D struct {
 
 	scratch
 
-	// Activation cache for Backward: the im2col columns and the geometry
-	// they were built with, so Backward never re-derives shapes.
-	lastCols  *tensor.Tensor
-	lastGeom  tensor.ConvGeom
-	lastOutHW int
+	// Activation caches for Backward: the lowering of the last forward and
+	// the geometry it was built with, so Backward never re-derives shapes.
+	// lastBatch == 0 marks the single-sample path, else the batch size.
+	lastCols    *tensor.Tensor // single path: (InC·K·K) × (OutH·OutW)
+	lastPatches *tensor.Tensor // batched path: (N·OutH·OutW) × (InC·K·K)
+	lastGeom    tensor.ConvGeom
+	lastOutHW   int
+	lastBatch   int
 
 	outView  viewCache // 3-D view over the 2-D matmul output
 	gradView viewCache // 2-D view over the incoming CHW gradient
@@ -45,10 +54,14 @@ func NewConv2D(rng *xrand.RNG, inC, outC, k, stride, pad int) *Conv2D {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer: rank-4 inputs take the batched path, rank-3 the
+// per-sample one.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() == 4 {
+		return c.forwardBatch(x)
+	}
 	if x.Rank() != 3 || x.Dim(0) != c.InC {
-		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W), got %v", c.InC, x.Shape()))
+		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W) or (N,%d,H,W), got %v", c.InC, c.InC, x.Shape()))
 	}
 	ws := c.workspace()
 	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
@@ -73,11 +86,65 @@ func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	c.lastCols = cols
 	c.lastGeom = g
 	c.lastOutHW = oHW
+	c.lastBatch = 0
 	return c.outView.of3(out, c.OutC, outH, outW)
 }
 
-// Backward implements Layer.
+// forwardBatch runs the whole [N,C,H,W] batch through one patch-major
+// lowering and one blocked MatMul. The orientation is flipped relative to
+// the single path — patches · Wᵀ instead of W · cols — so the small weight
+// matrix stays cache-resident while the batch streams through once; the
+// output is then permuted into NCHW with the bias fused into the pass.
+func (c *Conv2D) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	if x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: Conv2D expects (N,%d,H,W), got %v", c.InC, x.Shape()))
+	}
+	ws := c.workspace()
+	n := x.Dim(0)
+	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(2), InW: x.Dim(3), K: c.K, Stride: c.Stride, Pad: c.Pad}
+	outH, outW := g.OutH(), g.OutW()
+	p := outH * outW
+	l := c.InC * c.K * c.K
+
+	patches := ws.Tensor2(c, "patches", n*p, l)
+	tensor.Im2RowInto(patches, x, g)
+	// One SIMD k-major MatMul for the whole batch: the weight matrix is
+	// transposed once (tiny, and weights may have changed since the last
+	// call) so each lane accumulates one output element in ascending k.
+	wT := ws.Tensor2(c, "wTB", l, c.OutC)
+	tensor.Transpose2DInto(wT, c.w.Value)
+	pm := ws.Tensor2(c, "pout", n*p, c.OutC)
+	tensor.MatMulKMajorInto(pm, patches, wT)
+
+	// Permute (N·P)×OutC → [N,OutC,OutH,OutW], adding the bias in the same
+	// pass. s stored-then-added and s+bias round identically, so this
+	// matches the single path bit for bit.
+	out := ws.Tensor4(c, "out4", n, c.OutC, outH, outW)
+	od := out.Data()
+	pd := pm.Data()
+	bd := c.b.Value.Data()
+	for s := 0; s < n; s++ {
+		src := pd[s*p*c.OutC:]
+		dst := od[s*c.OutC*p:]
+		for pi := 0; pi < p; pi++ {
+			row := src[pi*c.OutC : pi*c.OutC+c.OutC]
+			for oc, v := range row {
+				dst[oc*p+pi] = v + bd[oc]
+			}
+		}
+	}
+	c.lastPatches = patches
+	c.lastGeom = g
+	c.lastOutHW = p
+	c.lastBatch = n
+	return out
+}
+
+// Backward implements Layer, dispatching on the path the last Forward took.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.lastBatch > 0 {
+		return c.backwardBatch(grad)
+	}
 	ws := c.workspace()
 	g := c.lastGeom
 	oHW := c.lastOutHW
@@ -107,6 +174,67 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulInto(dCols, wT, gm)
 	dX := ws.Tensor3(c, "dX", g.InC, g.InH, g.InW)
 	tensor.Col2ImInto(dX, dCols, g)
+	return dX
+}
+
+// backwardBatch is the batched adjoint. The input gradient of each sample
+// is bit-identical to the single path (same per-element accumulation
+// order); the parameter gradients accumulate across the whole batch in one
+// pass, so their summation order differs from N sequential single-sample
+// backwards by floating-point rounding only.
+func (c *Conv2D) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	ws := c.workspace()
+	g := c.lastGeom
+	n := c.lastBatch
+	p := c.lastOutHW
+	l := c.InC * c.K * c.K
+
+	// Reverse permute [N,OutC,P] → (N·P)×OutC, folding db's column sums
+	// into the same pass.
+	gm := ws.Tensor2(c, "gmB", n*p, c.OutC)
+	gmd := gm.Data()
+	gd := grad.Data()
+	bg := c.b.Grad.Data()
+	for s := 0; s < n; s++ {
+		src := gd[s*c.OutC*p:]
+		dst := gmd[s*p*c.OutC:]
+		for oc := 0; oc < c.OutC; oc++ {
+			row := src[oc*p : oc*p+p]
+			var sum float32
+			for pi, v := range row {
+				dst[pi*c.OutC+oc] = v
+				sum += v
+			}
+			bg[oc] += sum
+		}
+	}
+
+	// dW[oc] += Σ over patch rows gm[r][oc] · patches[r]: rank-1 updates
+	// streaming the patches once while dW stays cache-resident.
+	dW := ws.TensorLike(c, "dWB", c.w.Value)
+	dW.Zero()
+	dwd := dW.Data()
+	ptd := c.lastPatches.Data()
+	for r := 0; r < n*p; r++ {
+		grow := gmd[r*c.OutC : r*c.OutC+c.OutC]
+		prow := ptd[r*l : r*l+l]
+		for oc, gv := range grow {
+			if gv == 0 {
+				continue
+			}
+			wrow := dwd[oc*l : oc*l+l]
+			for i, pv := range prow {
+				wrow[i] += gv * pv
+			}
+		}
+	}
+	c.w.Grad.AddInPlace(dW)
+
+	// dX = row2im(G · W), one blocked MatMul for the batch.
+	dP := ws.Tensor2(c, "dPatches", n*p, l)
+	tensor.MatMulInto(dP, gm, c.w.Value)
+	dX := ws.Tensor4(c, "dX4", n, g.InC, g.InH, g.InW)
+	tensor.Row2ImInto(dX, dP, g)
 	return dX
 }
 

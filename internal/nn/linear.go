@@ -7,15 +7,21 @@ import (
 	"repro/internal/xrand"
 )
 
-// Linear is a fully connected layer y = Wx + b over flat vectors.
+// Linear is a fully connected layer y = Wx + b. It is batch-first: a rank-2
+// [N,In] input runs the whole batch through one blocked MatMul (the gemv →
+// gemm lift that dominates the batched-inference win on the dense head); any
+// input with exactly In elements is treated as a single flat vector on the
+// original per-sample path. Both paths compute every output element as the
+// same ascending-index dot product, so they agree bit for bit.
 type Linear struct {
 	In, Out int
 
 	w, b *Param
 
 	scratch
-	inView viewCache
-	lastIn *tensor.Tensor
+	inView    viewCache
+	lastIn    *tensor.Tensor
+	lastBatch int // 0 = single-sample path, else N of the last forward
 }
 
 var _ Layer = (*Linear)(nil)
@@ -32,17 +38,22 @@ func NewLinear(rng *xrand.RNG, in, out int) *Linear {
 	}
 }
 
-// Forward implements Layer. Inputs of any shape are accepted as long as the
-// element count matches In; they are treated as flat vectors.
+// Forward implements Layer. Rank-2 [N,In] inputs are a batch (including
+// batch-of-1, which keeps its leading dimension); any other shape with
+// exactly In elements is treated as one flat vector.
 func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
+	if x.Rank() == 2 && x.Dim(1) == l.In {
+		return l.forwardBatch(x)
+	}
 	if x.Len() != l.In {
-		panic(fmt.Sprintf("nn: Linear expects %d inputs, got shape %v", l.In, x.Shape()))
+		panic(fmt.Sprintf("nn: Linear expects %d inputs or a (N,%d) batch, got shape %v", l.In, l.In, x.Shape()))
 	}
 	ws := l.workspace()
 	flat := l.inView.of1(x)
 	lastIn := ws.Tensor1(l, "lastIn", l.In)
 	copy(lastIn.Data(), flat.Data())
 	l.lastIn = lastIn
+	l.lastBatch = 0
 	out := ws.Tensor1(l, "out", l.Out)
 	wd := l.w.Value.Data()
 	xd := flat.Data()
@@ -59,8 +70,35 @@ func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer.
+// forwardBatch computes the [N,Out] batch output as X · Wᵀ with the blocked
+// TransB kernel — one gemm instead of N gemvs — then adds the bias.
+func (l *Linear) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
+	ws := l.workspace()
+	n := x.Dim(0)
+	lastIn := ws.Tensor2(l, "lastInB", n, l.In)
+	copy(lastIn.Data(), x.Data())
+	l.lastIn = lastIn
+	l.lastBatch = n
+	out := ws.Tensor2(l, "outB", n, l.Out)
+	wT := ws.Tensor2(l, "wTB", l.In, l.Out)
+	tensor.Transpose2DInto(wT, l.w.Value)
+	tensor.MatMulKMajorInto(out, x, wT)
+	od := out.Data()
+	bd := l.b.Value.Data()
+	for r := 0; r < n; r++ {
+		row := od[r*l.Out : (r+1)*l.Out]
+		for o := range row {
+			row[o] += bd[o]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer, dispatching on the path the last Forward took.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastBatch > 0 {
+		return l.backwardBatch(grad)
+	}
 	gd := grad.Data()
 	wd := l.w.Value.Data()
 	wg := l.w.Grad.Data()
@@ -81,6 +119,40 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		for i := range row {
 			grow[i] += g * xd[i]
 			dxd[i] += g * row[i]
+		}
+	}
+	return dx
+}
+
+// backwardBatch propagates a [N,Out] gradient: per-sample input gradients
+// match the single path bit for bit; parameter gradients accumulate across
+// the batch in one pass.
+func (l *Linear) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
+	n := l.lastBatch
+	gd := grad.Data()
+	wd := l.w.Value.Data()
+	wg := l.w.Grad.Data()
+	bg := l.b.Grad.Data()
+	xd := l.lastIn.Data()
+
+	dx := l.workspace().Tensor2(l, "dxB", n, l.In)
+	dx.Zero()
+	dxd := dx.Data()
+	for r := 0; r < n; r++ {
+		grow := gd[r*l.Out : (r+1)*l.Out]
+		xrow := xd[r*l.In : (r+1)*l.In]
+		dxrow := dxd[r*l.In : (r+1)*l.In]
+		for o, g := range grow {
+			bg[o] += g
+			if g == 0 {
+				continue
+			}
+			row := wd[o*l.In : (o+1)*l.In]
+			wgrow := wg[o*l.In : (o+1)*l.In]
+			for i := range row {
+				wgrow[i] += g * xrow[i]
+				dxrow[i] += g * row[i]
+			}
 		}
 	}
 	return dx

@@ -4,14 +4,20 @@
 //
 // Design notes:
 //
-//   - Layers process one sample at a time (CHW tensors, no batch dimension).
-//     Trainers loop over a mini-batch accumulating parameter gradients; for
-//     the model sizes in this repository that is faster and far simpler than
-//     batched kernels, and it makes per-sample input gradients — the core
-//     primitive of every white-box attack — free.
+//   - Layers are batch-first: every layer accepts a leading batch
+//     dimension ([N,C,H,W] images, [N,In] vectors) and runs the whole batch
+//     through one lowering and one blocked MatMul instead of N small ones.
+//     Single-sample CHW/flat inputs remain first-class (they take the
+//     original per-sample kernels), and the two paths are bit-identical
+//     frame for frame: every output element is the same ascending-index
+//     float32 dot product, so batching is purely a throughput decision.
 //   - Backward returns the gradient with respect to the layer input and
 //     accumulates parameter gradients, so a single Forward/Backward pair
-//     yields ∇x J for FGSM/PGD/RP2/CAP.
+//     yields ∇x J for FGSM/PGD/RP2/CAP. Batched Backward keeps per-sample
+//     input gradients bit-identical to the single path; parameter gradients
+//     accumulate across the batch in one pass, whose summation order
+//     differs from N sequential single-sample backwards by float rounding
+//     only (trainers that need the legacy order keep looping per sample).
 //   - Layers cache activations between Forward and Backward, so a network
 //     instance is not safe for concurrent use. Clone() produces an
 //     independent copy (parameters deep-copied) for parallel evaluation.
@@ -41,7 +47,8 @@ func (p *Param) clone() *Param {
 
 // Layer is one differentiable stage of a network.
 type Layer interface {
-	// Forward computes the layer output for a single CHW (or flat) sample.
+	// Forward computes the layer output for a single CHW (or flat) sample,
+	// or for a batch carrying a leading N dimension ([N,C,H,W] / [N,In]).
 	// train toggles train-time behaviour (e.g. dropout); inference and
 	// attack gradient computation both use train=false.
 	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
@@ -96,7 +103,8 @@ func (s *Sequential) Layers() []Layer {
 	return out
 }
 
-// Forward runs the full network on one sample.
+// Forward runs the full network on one sample — or on a whole [N,...]
+// batch, since every layer is batch-first.
 func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for _, l := range s.layers {
 		x = l.Forward(x, train)

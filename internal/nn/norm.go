@@ -22,8 +22,9 @@ type GroupNorm struct {
 
 	// Caches for Backward.
 	lastH, lastW int
+	lastBatch    int            // samples in the last forward (1 for CHW)
 	lastNorm     *tensor.Tensor // normalised activations (pre gamma/beta)
-	lastStd      []float32      // per-group sqrt(var+eps)
+	lastStd      []float32      // per-sample, per-group sqrt(var+eps)
 }
 
 var _ Layer = (*GroupNorm)(nil)
@@ -44,29 +45,44 @@ func NewGroupNorm(groups, c int) *GroupNorm {
 	}
 }
 
-// Forward implements Layer.
+// Forward implements Layer. Rank-4 [N,C,H,W] batches normalise each sample
+// independently (group statistics never mix samples), so batched and
+// per-sample results are bit-identical.
 func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if x.Rank() != 3 || x.Dim(0) != g.C {
-		panic(fmt.Sprintf("nn: GroupNorm expects (%d,H,W), got %v", g.C, x.Shape()))
+	nb := 1
+	switch {
+	case x.Rank() == 3 && x.Dim(0) == g.C:
+		g.lastH, g.lastW = x.Dim(1), x.Dim(2)
+	case x.Rank() == 4 && x.Dim(1) == g.C:
+		nb = x.Dim(0)
+		g.lastH, g.lastW = x.Dim(2), x.Dim(3)
+	default:
+		panic(fmt.Sprintf("nn: GroupNorm expects (%d,H,W) or (N,%d,H,W), got %v", g.C, g.C, x.Shape()))
 	}
-	h, w := x.Dim(1), x.Dim(2)
-	chPerG := g.C / g.Groups
-	n := chPerG * h * w
+	h, w := g.lastH, g.lastW
+	g.lastBatch = nb
 
 	ws := g.workspace()
-	g.lastH, g.lastW = h, w
-	norm := ws.Tensor3(g, "norm", g.C, h, w)
-	out := ws.Tensor3(g, "out", g.C, h, w)
-	if len(g.lastStd) != g.Groups {
-		g.lastStd = make([]float32, g.Groups)
+	norm := ws.TensorLike(g, "norm", x)
+	out := ws.TensorLike(g, "out", x)
+	if len(g.lastStd) != nb*g.Groups {
+		g.lastStd = make([]float32, nb*g.Groups)
 	}
+	sample := g.C * h * w
+	for s := 0; s < nb; s++ {
+		g.forwardSample(x.Data()[s*sample:(s+1)*sample], norm.Data()[s*sample:(s+1)*sample],
+			out.Data()[s*sample:(s+1)*sample], g.lastStd[s*g.Groups:(s+1)*g.Groups], h, w)
+	}
+	g.lastNorm = norm
+	return out
+}
 
-	xd := x.Data()
-	nd := norm.Data()
-	od := out.Data()
+// forwardSample normalises one CHW sample in place over slices.
+func (g *GroupNorm) forwardSample(xd, nd, od, std []float32, h, w int) {
+	chPerG := g.C / g.Groups
+	n := chPerG * h * w
 	gd := g.gamma.Value.Data()
 	bd := g.beta.Value.Data()
-
 	for gi := 0; gi < g.Groups; gi++ {
 		lo := gi * chPerG * h * w
 		hi := lo + n
@@ -80,10 +96,10 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			d := float64(v) - mean
 			varSum += d * d
 		}
-		std := float32(math.Sqrt(varSum/float64(n) + float64(g.Eps)))
-		g.lastStd[gi] = std
+		sd := float32(math.Sqrt(varSum/float64(n) + float64(g.Eps)))
+		std[gi] = sd
 		for i := lo; i < hi; i++ {
-			nd[i] = (xd[i] - float32(mean)) / std
+			nd[i] = (xd[i] - float32(mean)) / sd
 		}
 		for c := gi * chPerG; c < (gi+1)*chPerG; c++ {
 			base := c * h * w
@@ -92,20 +108,23 @@ func (g *GroupNorm) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 			}
 		}
 	}
-	g.lastNorm = norm
-	return out
 }
 
 // Backward implements Layer.
 func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	h, w := g.lastH, g.lastW
+	dx := g.workspace().TensorLike(g, "dx", grad)
+	sample := g.C * g.lastH * g.lastW
+	for s := 0; s < g.lastBatch; s++ {
+		g.backwardSample(grad.Data()[s*sample:(s+1)*sample], g.lastNorm.Data()[s*sample:(s+1)*sample],
+			dx.Data()[s*sample:(s+1)*sample], g.lastStd[s*g.Groups:(s+1)*g.Groups], g.lastH, g.lastW)
+	}
+	return dx
+}
+
+// backwardSample computes one sample's input and parameter gradients.
+func (g *GroupNorm) backwardSample(gradD, nd, dxd, std []float32, h, w int) {
 	chPerG := g.C / g.Groups
 	n := chPerG * h * w
-
-	dx := g.workspace().Tensor3(g, "dx", g.C, h, w)
-	gradD := grad.Data()
-	nd := g.lastNorm.Data()
-	dxd := dx.Data()
 	gammaD := g.gamma.Value.Data()
 	gammaG := g.gamma.Grad.Data()
 	betaG := g.beta.Grad.Data()
@@ -125,8 +144,7 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// Input gradient per group:
 	// dx = (gamma*grad - mean(gamma*grad) - norm * mean(gamma*grad*norm)) / std
 	for gi := 0; gi < g.Groups; gi++ {
-		lo := gi * chPerG * h * w
-		std := g.lastStd[gi]
+		sd := std[gi]
 		var sumDY, sumDYN float64
 		for c := gi * chPerG; c < (gi+1)*chPerG; c++ {
 			base := c * h * w
@@ -142,12 +160,10 @@ func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			base := c * h * w
 			for i := 0; i < h*w; i++ {
 				dy := gammaD[c] * gradD[base+i]
-				dxd[base+i] = (dy - meanDY - nd[base+i]*meanDYN) / std
+				dxd[base+i] = (dy - meanDY - nd[base+i]*meanDYN) / sd
 			}
 		}
-		_ = lo
 	}
-	return dx
 }
 
 // Params implements Layer.

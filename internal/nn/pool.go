@@ -6,13 +6,15 @@ import (
 	"repro/internal/tensor"
 )
 
-// MaxPool2D downsamples CHW tensors by taking the maximum over non-
-// overlapping K×K windows (stride = K).
+// MaxPool2D downsamples by taking the maximum over non-overlapping K×K
+// windows (stride = K). It accepts CHW samples or [N,C,H,W] batches; the
+// windows of each sample are independent, so both paths agree bit for bit.
 type MaxPool2D struct {
 	K int
 
 	scratch
 	lastC, lastH, lastW int
+	lastBatch           int
 	lastArg             []int // flat input index of the max for each output element
 }
 
@@ -23,39 +25,55 @@ func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
 
 // Forward implements Layer.
 func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if x.Rank() != 3 {
-		panic(fmt.Sprintf("nn: MaxPool2D expects CHW, got %v", x.Shape()))
+	var nb, c, h, w int
+	switch x.Rank() {
+	case 3:
+		nb, c, h, w = 1, x.Dim(0), x.Dim(1), x.Dim(2)
+	case 4:
+		nb, c, h, w = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	default:
+		panic(fmt.Sprintf("nn: MaxPool2D expects CHW or NCHW, got %v", x.Shape()))
 	}
-	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	oh, ow := h/m.K, w/m.K
 	if oh == 0 || ow == 0 {
 		panic(fmt.Sprintf("nn: MaxPool2D window %d too large for %v", m.K, x.Shape()))
 	}
-	out := m.workspace().Tensor3(m, "out", c, oh, ow)
-	m.lastC, m.lastH, m.lastW = c, h, w
-	if len(m.lastArg) != c*oh*ow {
-		m.lastArg = make([]int, c*oh*ow)
+	var out *tensor.Tensor
+	if x.Rank() == 3 {
+		out = m.workspace().Tensor3(m, "out", c, oh, ow)
+	} else {
+		out = m.workspace().Tensor4(m, "out4", nb, c, oh, ow)
 	}
-	xd := x.Data()
-	od := out.Data()
-	for ch := 0; ch < c; ch++ {
-		for oy := 0; oy < oh; oy++ {
-			for ox := 0; ox < ow; ox++ {
-				best := float32(0)
-				bestIdx := -1
-				for ky := 0; ky < m.K; ky++ {
-					iy := oy*m.K + ky
-					for kx := 0; kx < m.K; kx++ {
-						ix := ox*m.K + kx
-						idx := (ch*h+iy)*w + ix
-						if bestIdx == -1 || xd[idx] > best {
-							best, bestIdx = xd[idx], idx
+	m.lastC, m.lastH, m.lastW = c, h, w
+	m.lastBatch = nb
+	if len(m.lastArg) != nb*c*oh*ow {
+		m.lastArg = make([]int, nb*c*oh*ow)
+	}
+	inSample := c * h * w
+	outSample := c * oh * ow
+	for s := 0; s < nb; s++ {
+		xd := x.Data()[s*inSample : (s+1)*inSample]
+		od := out.Data()[s*outSample : (s+1)*outSample]
+		arg := m.lastArg[s*outSample : (s+1)*outSample]
+		for ch := 0; ch < c; ch++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					best := float32(0)
+					bestIdx := -1
+					for ky := 0; ky < m.K; ky++ {
+						iy := oy*m.K + ky
+						for kx := 0; kx < m.K; kx++ {
+							ix := ox*m.K + kx
+							idx := (ch*h+iy)*w + ix
+							if bestIdx == -1 || xd[idx] > best {
+								best, bestIdx = xd[idx], idx
+							}
 						}
 					}
+					oidx := (ch*oh+oy)*ow + ox
+					od[oidx] = best
+					arg[oidx] = s*inSample + bestIdx
 				}
-				oidx := (ch*oh+oy)*ow + ox
-				od[oidx] = best
-				m.lastArg[oidx] = bestIdx
 			}
 		}
 	}
@@ -64,7 +82,12 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := m.workspace().Tensor3(m, "dx", m.lastC, m.lastH, m.lastW)
+	var dx *tensor.Tensor
+	if m.lastBatch == 1 && grad.Rank() == 3 {
+		dx = m.workspace().Tensor3(m, "dx", m.lastC, m.lastH, m.lastW)
+	} else {
+		dx = m.workspace().Tensor4(m, "dx4", m.lastBatch, m.lastC, m.lastH, m.lastW)
+	}
 	dx.Zero()
 	dxd := dx.Data()
 	gd := grad.Data()
@@ -81,10 +104,12 @@ func (m *MaxPool2D) Params() []*Param { return nil }
 func (m *MaxPool2D) Clone() Layer { return &MaxPool2D{K: m.K} }
 
 // Upsample2x doubles spatial resolution by nearest-neighbour repetition;
-// the decoder half of the diffusion UNet uses it.
+// the decoder half of the diffusion UNet uses it. Like the other layers it
+// accepts CHW samples or [N,C,H,W] batches.
 type Upsample2x struct {
 	scratch
 	lastC, lastH, lastW int
+	lastBatch           int
 }
 
 var _ Layer = (*Upsample2x)(nil)
@@ -94,24 +119,39 @@ func NewUpsample2x() *Upsample2x { return &Upsample2x{} }
 
 // Forward implements Layer.
 func (u *Upsample2x) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if x.Rank() != 3 {
-		panic(fmt.Sprintf("nn: Upsample2x expects CHW, got %v", x.Shape()))
+	var nb, c, h, w int
+	switch x.Rank() {
+	case 3:
+		nb, c, h, w = 1, x.Dim(0), x.Dim(1), x.Dim(2)
+	case 4:
+		nb, c, h, w = x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	default:
+		panic(fmt.Sprintf("nn: Upsample2x expects CHW or NCHW, got %v", x.Shape()))
 	}
-	c, h, w := x.Dim(0), x.Dim(1), x.Dim(2)
 	u.lastC, u.lastH, u.lastW = c, h, w
-	out := u.workspace().Tensor3(u, "out", c, h*2, w*2)
-	xd := x.Data()
-	od := out.Data()
-	for ch := 0; ch < c; ch++ {
-		for y := 0; y < h; y++ {
-			row := xd[(ch*h+y)*w : (ch*h+y+1)*w]
-			o0 := (ch*h*2 + y*2) * w * 2
-			o1 := o0 + w*2
-			for xi, v := range row {
-				od[o0+2*xi] = v
-				od[o0+2*xi+1] = v
-				od[o1+2*xi] = v
-				od[o1+2*xi+1] = v
+	u.lastBatch = nb
+	var out *tensor.Tensor
+	if x.Rank() == 3 {
+		out = u.workspace().Tensor3(u, "out", c, h*2, w*2)
+	} else {
+		out = u.workspace().Tensor4(u, "out4", nb, c, h*2, w*2)
+	}
+	inSample := c * h * w
+	outSample := inSample * 4
+	for s := 0; s < nb; s++ {
+		xd := x.Data()[s*inSample : (s+1)*inSample]
+		od := out.Data()[s*outSample : (s+1)*outSample]
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				row := xd[(ch*h+y)*w : (ch*h+y+1)*w]
+				o0 := (ch*h*2 + y*2) * w * 2
+				o1 := o0 + w*2
+				for xi, v := range row {
+					od[o0+2*xi] = v
+					od[o0+2*xi+1] = v
+					od[o1+2*xi] = v
+					od[o1+2*xi+1] = v
+				}
 			}
 		}
 	}
@@ -121,17 +161,26 @@ func (u *Upsample2x) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 // Backward implements Layer.
 func (u *Upsample2x) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	c, h, w := u.lastC, u.lastH, u.lastW
-	dx := u.workspace().Tensor3(u, "dx", c, h, w)
-	gd := grad.Data()
-	dxd := dx.Data()
+	var dx *tensor.Tensor
+	if u.lastBatch == 1 && grad.Rank() == 3 {
+		dx = u.workspace().Tensor3(u, "dx", c, h, w)
+	} else {
+		dx = u.workspace().Tensor4(u, "dx4", u.lastBatch, c, h, w)
+	}
 	w2 := w * 2
-	for ch := 0; ch < c; ch++ {
-		for y := 0; y < h; y++ {
-			g0 := (ch*h*2 + y*2) * w2
-			g1 := g0 + w2
-			drow := dxd[(ch*h+y)*w : (ch*h+y+1)*w]
-			for xi := range drow {
-				drow[xi] = gd[g0+2*xi] + gd[g0+2*xi+1] + gd[g1+2*xi] + gd[g1+2*xi+1]
+	inSample := c * h * w
+	outSample := inSample * 4
+	for s := 0; s < u.lastBatch; s++ {
+		gd := grad.Data()[s*outSample : (s+1)*outSample]
+		dxd := dx.Data()[s*inSample : (s+1)*inSample]
+		for ch := 0; ch < c; ch++ {
+			for y := 0; y < h; y++ {
+				g0 := (ch*h*2 + y*2) * w2
+				g1 := g0 + w2
+				drow := dxd[(ch*h+y)*w : (ch*h+y+1)*w]
+				for xi := range drow {
+					drow[xi] = gd[g0+2*xi] + gd[g0+2*xi+1] + gd[g1+2*xi] + gd[g1+2*xi+1]
+				}
 			}
 		}
 	}

@@ -75,6 +75,18 @@ func (w *Workspace) Tensor3(owner any, name string, d0, d1, d2 int) *tensor.Tens
 	return t
 }
 
+// Tensor4 returns a rank-4 scratch tensor of shape d0×d1×d2×d3 (the
+// batched [N,C,H,W] activations of the batch-first layer paths).
+func (w *Workspace) Tensor4(owner any, name string, d0, d1, d2, d3 int) *tensor.Tensor {
+	k := wsKey{owner: owner, name: name}
+	if t, ok := w.m[k]; ok && t.Rank() == 4 && t.Dim(0) == d0 && t.Dim(1) == d1 && t.Dim(2) == d2 && t.Dim(3) == d3 {
+		return t
+	}
+	t := tensor.New(d0, d1, d2, d3)
+	w.m[k] = t
+	return t
+}
+
 // TensorLike is Tensor with the shape taken from an existing tensor,
 // avoiding the shape-copy allocation of Tensor.Shape().
 func (w *Workspace) TensorLike(owner any, name string, like *tensor.Tensor) *tensor.Tensor {

@@ -55,6 +55,16 @@ type Config struct {
 	// metrics treat the lead as in-lane regardless of the offset.
 	LeadLateral func(t float64) float64
 
+	// FrameFilter optionally post-processes each rendered frame in place
+	// before the attacker and defense see it — the appearance layer for
+	// weather veils (fog contrast wash, rain streaks). The rng is a
+	// dedicated stream split from the run seed, so filters can draw
+	// per-frame randomness without perturbing the renderer's stream.
+	// Scenario registrations must construct a fresh filter per config
+	// (inside Mutate) when the filter keeps scratch buffers: one Scenario
+	// value is applied from many concurrently running matrix cells.
+	FrameFilter func(img *imaging.Image, rng *xrand.RNG)
+
 	Seed int64
 }
 
@@ -83,6 +93,14 @@ func DefaultConfig(reg *regress.Regressor) Config {
 // vision-only distance.
 func Run(cfg Config) sim.Result {
 	rng := xrand.New(cfg.Seed)
+	// The filter stream is split off before the renderer consumes rng, and
+	// only when a filter is configured, so filter-free scenarios keep the
+	// exact random streams (and therefore trajectories) they had before
+	// FrameFilter existed.
+	var filterRNG *xrand.RNG
+	if cfg.FrameFilter != nil {
+		filterRNG = rng.Split()
+	}
 	renderer := scene.NewRenderer(rng, cfg.Drive)
 	acc := sim.ACC{Cfg: sim.DefaultACCConfig()}
 	world := sim.NewSimulation(cfg.InitGap, cfg.EgoSpeed, cfg.LeadSpeed, cfg.DT)
@@ -115,6 +133,9 @@ func Run(cfg Config) sim.Result {
 			frame = renderer.Render(trueGap)
 		}
 		img := frame.Img
+		if cfg.FrameFilter != nil {
+			cfg.FrameFilter(img, filterRNG)
+		}
 		if cfg.Attacker != nil {
 			img = cfg.Attacker.Apply(img, frame.LeadBox)
 		}

@@ -1,6 +1,11 @@
 package pipeline
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/imaging"
+	"repro/internal/xrand"
+)
 
 // Scenario is a named, declarative closed-loop driving maneuver: a config
 // mutator that sets the initial kinematics (and scene appearance, e.g.
@@ -38,6 +43,59 @@ func (s Scenario) Apply(cfg Config) Config {
 		cfg.LeadLateral = s.LeadLateral
 	}
 	return cfg
+}
+
+// newFogFilter returns a frame filter layering a fog veil over the scene:
+// every pixel is pulled toward a bright haze color (a contrast wash whose
+// strength is the veil density) and the frame is then softened with a
+// small Gaussian blur — distant structure, including the lead vehicle,
+// loses contrast first, exactly the degradation fog inflicts on a camera.
+// The filter owns its blur scratch, so each config (and therefore each
+// concurrently running matrix cell) must construct its own via Mutate.
+func newFogFilter(density float64, blurSigma float64) func(img *imaging.Image, rng *xrand.RNG) {
+	var blurBuf *imaging.Image
+	haze := imaging.Color{0.82, 0.84, 0.87}
+	return func(img *imaging.Image, rng *xrand.RNG) {
+		f := float32(density)
+		for c := 0; c < img.C && c < 3; c++ {
+			plane := img.Pix[c*img.H*img.W : (c+1)*img.H*img.W]
+			hc := haze[c] * f
+			for i, v := range plane {
+				plane[i] = v*(1-f) + hc
+			}
+		}
+		if blurSigma > 0 {
+			blurBuf = imaging.EnsureLike(blurBuf, img)
+			imaging.GaussianBlurInto(blurBuf, img, blurSigma)
+			copy(img.Pix, blurBuf.Pix)
+		}
+	}
+}
+
+// newRainFilter returns a frame filter for heavy rain: a dimming wash, a
+// few bright diagonal streaks across the frame (fresh positions per frame
+// from the filter's rng stream) and a boosted noise veil standing in for
+// droplet scatter on the lens.
+func newRainFilter(dim float64, streaks int, noiseStd float64) func(img *imaging.Image, rng *xrand.RNG) {
+	streakCol := imaging.Color{0.78, 0.80, 0.85}
+	return func(img *imaging.Image, rng *xrand.RNG) {
+		d := float32(1 - dim)
+		for i, v := range img.Pix {
+			img.Pix[i] = v * d
+		}
+		for s := 0; s < streaks; s++ {
+			x0 := rng.Uniform(0, float64(img.W))
+			y0 := rng.Uniform(0, float64(img.H))
+			length := rng.Uniform(3, 8)
+			img.DrawLine(y0, x0, y0+length, x0-length*0.3, streakCol)
+		}
+		if noiseStd > 0 {
+			for i, v := range img.Pix {
+				img.Pix[i] = v + float32(rng.Normal(0, noiseStd))
+			}
+		}
+		img.Clamp()
+	}
 }
 
 // constAccel returns a script holding the given acceleration forever.
@@ -129,6 +187,34 @@ func Scenarios() []Scenario {
 				cfg.Drive.Noise *= 2 // sensor noise dominates in the dark
 			},
 			LeadAccel: brakePulse(4, 8, 4),
+		},
+		{
+			Name:        "fog-brake",
+			Description: "lead brakes inside dense fog: contrast wash + blur veil",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 42
+				cfg.EgoSpeed, cfg.LeadSpeed = 24, 23
+				// Flat gray light under the cloud deck, a little extra
+				// sensor noise, and a fresh fog filter per config so
+				// concurrent cells never share blur scratch.
+				cfg.Drive.BrightMin, cfg.Drive.BrightMax = 0.7, 0.8
+				cfg.Drive.Noise *= 1.5
+				cfg.FrameFilter = newFogFilter(0.45, 0.7)
+			},
+			LeadAccel: brakePulse(4, 8, 3.5),
+		},
+		{
+			Name:        "rain-cruise",
+			Description: "steady cruise through heavy rain: streaks, dimming and lens noise",
+			Mutate: func(cfg *Config) {
+				cfg.InitGap = 40
+				cfg.EgoSpeed, cfg.LeadSpeed = 26, 25
+				cfg.Drive.BrightMin, cfg.Drive.BrightMax = 0.55, 0.7
+				cfg.FrameFilter = newRainFilter(0.18, 10, 0.03)
+			},
+			// Spray reduces traction: the lead eases off mid-run rather
+			// than holding a perfectly steady speed.
+			LeadAccel: brakePulse(6, 8, 1.2),
 		},
 	}
 }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"reflect"
 	"runtime"
+	"sync"
 	"testing"
 )
 
@@ -24,7 +25,7 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Fatalf("scenario %q has no lead acceleration script", s.Name)
 		}
 	}
-	for _, want := range []string{"highway-cruise", "hard-brake", "stop-and-go", "cut-in", "night-brake"} {
+	for _, want := range []string{"highway-cruise", "hard-brake", "stop-and-go", "cut-in", "night-brake", "fog-brake", "rain-cruise"} {
 		if !seen[want] {
 			t.Fatalf("registry missing %q", want)
 		}
@@ -79,11 +80,62 @@ func shortScenarioCfg(t *testing.T, name string) Config {
 }
 
 func TestRunDeterministicAcrossRepeats(t *testing.T) {
-	for _, name := range []string{"hard-brake", "cut-in", "night-brake"} {
+	for _, name := range []string{"hard-brake", "cut-in", "night-brake", "fog-brake", "rain-cruise"} {
 		a := Run(shortScenarioCfg(t, name))
 		b := Run(shortScenarioCfg(t, name))
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("%s: same seed must give bit-identical results", name)
+		}
+	}
+}
+
+// TestWeatherScenarios covers the fog/rain appearance variants: both must
+// be registered, construct a fresh frame filter per Apply (no shared blur
+// scratch between concurrently running cells), and actually change what
+// the camera perceives relative to a filter-free run.
+func TestWeatherScenarios(t *testing.T) {
+	for _, name := range []string{"fog-brake", "rain-cruise"} {
+		sc, ok := FindScenario(name)
+		if !ok {
+			t.Fatalf("%s missing from registry", name)
+		}
+		if cfg := sc.Apply(DefaultConfig(nil)); cfg.FrameFilter == nil {
+			t.Fatalf("%s must install a frame filter", name)
+		}
+
+		// Two configs applied from one Scenario value must be runnable
+		// concurrently: Apply builds a fresh filter (own blur scratch) per
+		// config, which the -race CI job verifies here. Each run gets its
+		// own regressor clone, matching the matrix runner's worker model.
+		cfgA := shortScenarioCfg(t, name)
+		cfgB := shortScenarioCfg(t, name)
+		cfgB.Reg = cfgB.Reg.Clone()
+		var wg sync.WaitGroup
+		for _, cfg := range []Config{cfgA, cfgB} {
+			wg.Add(1)
+			go func(c Config) {
+				defer wg.Done()
+				Run(c)
+			}(cfg)
+		}
+		wg.Wait()
+
+		// The veil must alter perception: drop only the filter and compare.
+		withVeil := shortScenarioCfg(t, name)
+		clear := withVeil
+		clear.FrameFilter = nil
+		av, ac := Run(withVeil), Run(clear)
+		same := len(av.PerceivedGaps) == len(ac.PerceivedGaps)
+		if same {
+			for i := range av.PerceivedGaps {
+				if av.PerceivedGaps[i] != ac.PerceivedGaps[i] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatalf("%s: frame filter had no effect on perception", name)
 		}
 	}
 }

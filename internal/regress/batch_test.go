@@ -1,0 +1,77 @@
+package regress
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/imaging"
+	"repro/internal/xrand"
+)
+
+// batchFrames renders n deterministic pseudo-frames at the given size.
+func batchFrames(n, size int) []*imaging.Image {
+	rng := xrand.New(62)
+	imgs := make([]*imaging.Image, n)
+	for i := range imgs {
+		img := imaging.NewRGB(size, size)
+		rng.FillUniform(img.Pix, 0, 1)
+		imgs[i] = img
+	}
+	return imgs
+}
+
+// TestPredictBatchBitIdentical is the model-level batch invariant the
+// ISSUE names: the batched forward of N frames must equal N single
+// forwards bit for bit, across GOMAXPROCS and across chunk boundaries
+// (n > BatchSize exercises the tail batch).
+func TestPredictBatchBitIdentical(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		r := New(xrand.New(8), 16)
+		imgs := batchFrames(BatchSize+3, 16)
+		single := r.Clone()
+
+		preds := r.PredictBatch(imgs)
+		for i, img := range imgs {
+			want := single.Predict(img)
+			if preds[i] != want {
+				t.Fatalf("procs=%d frame %d: batched %v vs single %v", procs, i, preds[i], want)
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestPredictBatchThenSingle interleaves batched and per-frame prediction
+// on one instance: the workspace reshuffling must not perturb either path.
+func TestPredictBatchThenSingle(t *testing.T) {
+	r := New(xrand.New(8), 16)
+	imgs := batchFrames(4, 16)
+	want := r.Clone().Predict(imgs[1])
+
+	r.PredictBatch(imgs)
+	if got := r.Predict(imgs[1]); got != want {
+		t.Fatalf("single predict drifts after batch: %v vs %v", got, want)
+	}
+	if got := r.PredictBatch(imgs)[1]; got != want {
+		t.Fatalf("batched predict drifts after single: %v vs %v", got, want)
+	}
+}
+
+// TestPredictBatchInto checks the destination-passing variant and length
+// validation.
+func TestPredictBatchInto(t *testing.T) {
+	r := New(xrand.New(8), 16)
+	imgs := batchFrames(3, 16)
+	dst := make([]float64, 3)
+	out := r.PredictBatchInto(dst, imgs)
+	if &out[0] != &dst[0] {
+		t.Fatal("PredictBatchInto must return dst")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch must panic")
+		}
+	}()
+	r.PredictBatchInto(make([]float64, 2), imgs)
+}

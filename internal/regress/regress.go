@@ -23,8 +23,14 @@ type Regressor struct {
 	Size    int     // input image side (pixels)
 	MaxDist float64 // normalisation constant: output 1.0 == MaxDist meters
 
-	seed *tensor.Tensor // reusable backward seed for DistanceGrad
+	seed     *tensor.Tensor // reusable backward seed for DistanceGrad
+	batchBuf *tensor.Tensor // reusable [N,3,S,S] input pack for PredictBatch
 }
+
+// BatchSize is the frame count PredictBatch feeds the network per forward:
+// large enough to amortise per-layer dispatch and keep the SIMD kernels
+// busy, small enough that the batched workspaces stay cache-resident.
+const BatchSize = 8
 
 // New builds a DistNet for size×size RGB inputs.
 func New(rng *xrand.RNG, size int) *Regressor {
@@ -56,6 +62,66 @@ func (r *Regressor) Clone() *Regressor {
 func (r *Regressor) Predict(img *imaging.Image) float64 {
 	out := r.Net.Forward(img.Tensor(), false)
 	return float64(out.Data()[0]) * r.MaxDist
+}
+
+// ForwardBatch packs the given frames into one [N,3,S,S] tensor and runs a
+// single batched forward, returning the raw [N,1] prediction map (owned by
+// the model workspace, valid until the next model call). Results are
+// bit-identical per frame to Predict.
+func (r *Regressor) ForwardBatch(imgs []*imaging.Image) *tensor.Tensor {
+	n := len(imgs)
+	if r.batchBuf == nil || !r.batchBuf.ShapeEq(n, 3, r.Size, r.Size) {
+		r.batchBuf = tensor.New(n, 3, r.Size, r.Size)
+	}
+	sample := 3 * r.Size * r.Size
+	bd := r.batchBuf.Data()
+	for i, img := range imgs {
+		if len(img.Pix) != sample {
+			panic(fmt.Sprintf("regress: ForwardBatch frame %d has %d pixels, want %d", i, len(img.Pix), sample))
+		}
+		copy(bd[i*sample:(i+1)*sample], img.Pix)
+	}
+	return r.Net.Forward(r.batchBuf, false)
+}
+
+// PredictBatch predicts the distance of every frame, feeding the network
+// BatchSize frames per forward pass. It is the throughput path for
+// dataset-style evaluation; predictions are bit-identical to calling
+// Predict per frame.
+func (r *Regressor) PredictBatch(imgs []*imaging.Image) []float64 {
+	return r.PredictBatchInto(make([]float64, len(imgs)), imgs)
+}
+
+// PredictBatchInto is PredictBatch writing into dst, which must have
+// len(imgs) elements; it returns dst. A final short block is padded to
+// BatchSize by repeating the last frame (padding outputs are discarded):
+// per-frame results are independent and bit-identical at any batch size,
+// and the constant shape keeps the batched workspaces from reallocating
+// between the tail and the next full block on every call.
+func (r *Regressor) PredictBatchInto(dst []float64, imgs []*imaging.Image) []float64 {
+	if len(dst) != len(imgs) {
+		panic(fmt.Sprintf("regress: PredictBatchInto dst %d vs %d frames", len(dst), len(imgs)))
+	}
+	var padded [BatchSize]*imaging.Image
+	for lo := 0; lo < len(imgs); lo += BatchSize {
+		hi := lo + BatchSize
+		block := imgs[lo:]
+		if hi > len(imgs) {
+			hi = len(imgs)
+			n := copy(padded[:], imgs[lo:])
+			for i := n; i < BatchSize; i++ {
+				padded[i] = imgs[len(imgs)-1]
+			}
+			block = padded[:]
+		} else {
+			block = imgs[lo:hi]
+		}
+		out := r.ForwardBatch(block).Data()
+		for i := 0; i < hi-lo; i++ {
+			dst[lo+i] = float64(out[i]) * r.MaxDist
+		}
+	}
+	return dst
 }
 
 // DistanceGrad returns the gradient of the predicted distance with respect
@@ -136,11 +202,17 @@ func (r *Regressor) TrainImages(imgs []*imaging.Image, dists []float64, cfg Trai
 	return epochLoss
 }
 
-// RMSE returns the root-mean-square prediction error in meters over a set.
+// RMSE returns the root-mean-square prediction error in meters over a set,
+// evaluated through the batched forward path.
 func (r *Regressor) RMSE(set *dataset.DriveSet) float64 {
+	imgs := make([]*imaging.Image, set.Len())
+	for i, sc := range set.Scenes {
+		imgs[i] = sc.Img
+	}
+	preds := r.PredictBatch(imgs)
 	var sq float64
-	for _, sc := range set.Scenes {
-		d := r.Predict(sc.Img) - sc.Distance
+	for i, sc := range set.Scenes {
+		d := preds[i] - sc.Distance
 		sq += d * d
 	}
 	return math.Sqrt(sq / float64(set.Len()))
@@ -150,13 +222,23 @@ func (r *Regressor) RMSE(set *dataset.DriveSet) float64 {
 // bucket: for every scene it compares the prediction on attacked(img)
 // against the prediction on the clean image, exactly the paper's Table I
 // protocol ("predicted relative distances under attack ... compared to the
-// predictions on clean images in each frame").
+// predictions on clean images in each frame"). Both sides run through the
+// batched forward path, which is bit-identical to per-frame prediction;
+// attacked(i) is called for every index up front, so its results must stay
+// valid until the call returns (don't reuse one destination frame).
 func (r *Regressor) RangeErrors(set *dataset.DriveSet, buckets [][2]float64, attacked func(i int) *imaging.Image) *metrics.RangeAccumulator {
+	n := set.Len()
+	clean := make([]*imaging.Image, n)
+	adv := make([]*imaging.Image, n)
+	for i, sc := range set.Scenes {
+		clean[i] = sc.Img
+		adv[i] = attacked(i)
+	}
+	cleanP := r.PredictBatch(clean)
+	advP := r.PredictBatch(adv)
 	acc := metrics.NewRangeAccumulator(buckets)
 	for i, sc := range set.Scenes {
-		clean := r.Predict(sc.Img)
-		adv := r.Predict(attacked(i))
-		acc.Add(sc.Distance, adv-clean)
+		acc.Add(sc.Distance, advP[i]-cleanP[i])
 	}
 	return acc
 }

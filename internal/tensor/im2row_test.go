@@ -1,0 +1,103 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// batchOf stacks n randomly filled CHW samples into an [N,C,H,W] tensor and
+// also returns the individual samples.
+func batchOf(rng *xrand.RNG, n int, g ConvGeom) (*Tensor, []*Tensor) {
+	batch := New(n, g.InC, g.InH, g.InW)
+	rng.FillUniform(batch.Data(), -1, 1)
+	per := make([]*Tensor, n)
+	sampleLen := g.InC * g.InH * g.InW
+	for s := 0; s < n; s++ {
+		per[s] = FromSlice(batch.Data()[s*sampleLen:(s+1)*sampleLen], g.InC, g.InH, g.InW)
+	}
+	return batch, per
+}
+
+// TestIm2RowMatchesIm2Col checks the patch-major batched lowering against
+// the per-sample column-major one: row (n·P + p) of Im2Row must equal
+// column p of sample n's Im2Col.
+func TestIm2RowMatchesIm2Col(t *testing.T) {
+	rng := xrand.New(41)
+	for _, g := range []ConvGeom{
+		{InC: 3, InH: 8, InW: 8, K: 3, Stride: 2, Pad: 1},
+		{InC: 2, InH: 7, InW: 5, K: 3, Stride: 1, Pad: 1},
+		{InC: 1, InH: 6, InW: 6, K: 2, Stride: 2, Pad: 0},
+		{InC: 2, InH: 9, InW: 9, K: 5, Stride: 2, Pad: 2},
+	} {
+		const n = 3
+		batch, per := batchOf(rng, n, g)
+		p := g.OutH() * g.OutW()
+		l := g.InC * g.K * g.K
+		rows := New(n*p, l)
+		rows.Fill(99) // every element must be overwritten
+		Im2RowInto(rows, batch, g)
+		for s := 0; s < n; s++ {
+			cols := Im2Col(per[s], g)
+			for pi := 0; pi < p; pi++ {
+				for li := 0; li < l; li++ {
+					got := rows.At(s*p+pi, li)
+					want := cols.At(li, pi)
+					if got != want {
+						t.Fatalf("geom %+v sample %d patch %d elem %d: im2row %v vs im2col %v", g, s, pi, li, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRow2ImIsAdjoint verifies <Im2Row(x), R> == <x, Row2Im(R)> — the
+// defining property of the backward scatter — and that Row2Im matches the
+// per-sample Col2Im on transposed operands.
+func TestRow2ImIsAdjoint(t *testing.T) {
+	rng := xrand.New(42)
+	g := ConvGeom{InC: 2, InH: 8, InW: 6, K: 3, Stride: 2, Pad: 1}
+	const n = 2
+	batch, per := batchOf(rng, n, g)
+	p := g.OutH() * g.OutW()
+	l := g.InC * g.K * g.K
+
+	rows := New(n*p, l)
+	Im2RowInto(rows, batch, g)
+	r := New(n*p, l)
+	rng.FillUniform(r.Data(), -1, 1)
+
+	back := New(n, g.InC, g.InH, g.InW)
+	Row2ImInto(back, r, g)
+
+	lhs := rows.Dot(r)
+	var rhs float64
+	for i, v := range back.Data() {
+		rhs += float64(v) * float64(batch.Data()[i])
+	}
+	if diff := lhs - rhs; diff > 1e-3 || diff < -1e-3 {
+		t.Fatalf("adjoint mismatch: <Ax,y>=%v <x,Aty>=%v", lhs, rhs)
+	}
+
+	// Per-sample agreement with Col2Im: transpose sample s's patch rows into
+	// column layout and scatter both ways.
+	sampleLen := g.InC * g.InH * g.InW
+	for s := 0; s < n; s++ {
+		colsGrad := New(l, p)
+		for pi := 0; pi < p; pi++ {
+			for li := 0; li < l; li++ {
+				colsGrad.Set(r.At(s*p+pi, li), li, pi)
+			}
+		}
+		want := Col2Im(colsGrad, g)
+		got := back.Data()[s*sampleLen : (s+1)*sampleLen]
+		for i := range got {
+			d := float64(got[i] - want.Data()[i])
+			if d > 1e-5 || d < -1e-5 {
+				t.Fatalf("sample %d: Row2Im diverges from Col2Im at %d: %v vs %v", s, i, got[i], want.Data()[i])
+			}
+		}
+	}
+	_ = per
+}

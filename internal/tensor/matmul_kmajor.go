@@ -1,0 +1,106 @@
+package tensor
+
+import "fmt"
+
+// K-major matmul: dst = A·B with B supplied in k-major layout (k×n), the
+// natural layout of an untransposed right operand. Unlike the packed
+// MatMulInto kernel it never materialises a transpose; instead it
+// vectorizes across output columns — each SIMD lane owns one output element
+// and accumulates a[i][l]·b[l][j] in strictly ascending l with a separate
+// float32 rounding per multiply and add, exactly like the scalar kernels.
+// Every output element is therefore bit-identical to MatMul/MatMulTransB,
+// and the kernel choice remains a pure throughput decision.
+//
+// This is the batched-inference kernel: the batch-first Conv2D and Linear
+// paths produce tall-skinny products (thousands of patch rows against a
+// small k-major weight matrix) where lane-per-column SIMD beats the
+// register-blocked scalar kernel by >2× on a single core.
+
+// MatMulKMajorInto computes dst = A·B for A (m×k) and B (k×n) given in
+// row-major (i.e. k-major for this product) layout, reusing dst's storage.
+// dst must be m×n.
+func MatMulKMajorInto(dst, a, bK *Tensor) {
+	if a.Rank() != 2 || bK.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulKMajorInto needs rank-2 operands, got %v x %v", a.shape, bK.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n := bK.shape[1]
+	if bK.shape[0] != k || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulKMajorInto shapes %v = %v x %v", dst.shape, a.shape, bK.shape))
+	}
+	matMulKMajor(dst.data, a.data, bK.data, m, k, n)
+}
+
+// matMulKMajor tiles the product into 4-row × 8-column (then 4-column)
+// blocks for the SIMD kernel and finishes row/column tails with the scalar
+// ascending-dot loop. All paths agree bit for bit.
+func matMulKMajor(c, a, bk []float32, m, k, n int) {
+	m4 := m - m%4
+	j := 0
+	if useSGEMM && m4 > 0 && k > 0 {
+		for ; j+8 <= n; j += 8 {
+			sgemm8cols(&a[0], &bk[j], &c[j], m4, k, n)
+		}
+		for ; j+4 <= n; j += 4 {
+			sgemm4cols(&a[0], &bk[j], &c[j], m4, k, n)
+		}
+	} else if m4 > 0 && k > 0 {
+		for ; j+8 <= n; j += 8 {
+			kmajorColsGeneric(c, a, bk, 0, m4, j, 8, k, n)
+		}
+		for ; j+4 <= n; j += 4 {
+			kmajorColsGeneric(c, a, bk, 0, m4, j, 4, k, n)
+		}
+	}
+	if j < n {
+		kmajorScalar(c, a, bk, 0, m4, j, n, k, n)
+	}
+	if m4 < m {
+		kmajorScalar(c, a, bk, m4, m, 0, n, k, n)
+	}
+}
+
+// kmajorColsGeneric is the pure-Go mirror of the assembly kernel: rows
+// [i0,i1) in blocks of 4, a fixed block of w columns starting at j0. Each
+// accumulator sums ascending l with per-step rounding — the lane semantics
+// of the SIMD kernel, expressed scalar — so generic and assembly builds
+// produce identical bits.
+func kmajorColsGeneric(c, a, bk []float32, i0, i1, j0, w, k, n int) {
+	var acc [4 * 8]float32
+	for i := i0; i+3 < i1; i += 4 {
+		for z := range acc[:4*w] {
+			acc[z] = 0
+		}
+		for l := 0; l < k; l++ {
+			brow := bk[l*n+j0 : l*n+j0+w]
+			a0 := a[(i+0)*k+l]
+			a1 := a[(i+1)*k+l]
+			a2 := a[(i+2)*k+l]
+			a3 := a[(i+3)*k+l]
+			for z, bv := range brow {
+				acc[z] += a0 * bv
+				acc[w+z] += a1 * bv
+				acc[2*w+z] += a2 * bv
+				acc[3*w+z] += a3 * bv
+			}
+		}
+		for r := 0; r < 4; r++ {
+			copy(c[(i+r)*n+j0:(i+r)*n+j0+w], acc[r*w:(r+1)*w])
+		}
+	}
+}
+
+// kmajorScalar computes rows [i0,i1) × columns [j0,j1) one ascending dot at
+// a time (the tail path; bk is read column-strided).
+func kmajorScalar(c, a, bk []float32, i0, i1, j0, j1, k, n int) {
+	for i := i0; i < i1; i++ {
+		ai := a[i*k : i*k+k]
+		for j := j0; j < j1; j++ {
+			var s float32
+			for l, av := range ai {
+				s += av * bk[l*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// naiveKMajor is the reference: one ascending-l scalar dot per element,
+// exactly the accumulation order every kernel in the package must honour.
+func naiveKMajor(a, bk *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := bk.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float32
+			for l := 0; l < k; l++ {
+				s += a.At(i, l) * bk.At(l, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+// TestMatMulKMajorBitIdentical pins the SIMD driver (assembly on amd64,
+// pure Go elsewhere), the generic lane kernel and MatMul itself to the
+// naive ascending-dot reference, across row/column tails and both tile
+// widths.
+func TestMatMulKMajorBitIdentical(t *testing.T) {
+	rng := xrand.New(51)
+	shapes := [][3]int{
+		{4, 8, 8},    // exact 4x8 tile
+		{8, 27, 12},  // conv1 shape: 8-block plus 4-block
+		{12, 16, 24}, // multiple 8-blocks
+		{5, 9, 11},   // row and column tails
+		{3, 7, 4},    // rows below the tile height
+		{16, 1, 8},   // k=1
+		{1024, 27, 12},
+		{8, 2048, 48}, // batched linear shape
+	}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		rng.FillUniform(a.Data(), -2, 2)
+		bk := New(k, n)
+		rng.FillUniform(bk.Data(), -2, 2)
+		// Sprinkle exact zeros so zero-skip paths are exercised too.
+		a.Data()[0] = 0
+		bk.Data()[n/2] = 0
+
+		want := naiveKMajor(a, bk)
+		got := New(m, n)
+		got.Fill(99)
+		MatMulKMajorInto(got, a, bk)
+		for i := range want.Data() {
+			if got.Data()[i] != want.Data()[i] {
+				t.Fatalf("m=%d k=%d n=%d: kmajor diverges at %d: %v vs %v", m, k, n, i, got.Data()[i], want.Data()[i])
+			}
+		}
+
+		// The generic lane kernel must agree bit for bit with whatever the
+		// driver used (on amd64, that cross-checks the assembly).
+		gen := New(m, n)
+		m4 := m - m%4
+		j := 0
+		for ; j+8 <= n; j += 8 {
+			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m4, j, 8, k, n)
+		}
+		for ; j+4 <= n; j += 4 {
+			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m4, j, 4, k, n)
+		}
+		if j < n {
+			kmajorScalar(gen.Data(), a.Data(), bk.Data(), 0, m4, j, n, k, n)
+		}
+		if m4 < m {
+			kmajorScalar(gen.Data(), a.Data(), bk.Data(), m4, m, 0, n, k, n)
+		}
+		for i := range want.Data() {
+			if gen.Data()[i] != want.Data()[i] {
+				t.Fatalf("m=%d k=%d n=%d: generic lane kernel diverges at %d", m, k, n, i)
+			}
+		}
+
+		// And MatMul (the packed scalar kernel) must agree as well: the
+		// kernels are interchangeable bit for bit.
+		ref := MatMul(a, bk)
+		for i := range want.Data() {
+			if ref.Data()[i] != want.Data()[i] {
+				t.Fatalf("m=%d k=%d n=%d: MatMul diverges from naive at %d", m, k, n, i)
+			}
+		}
+	}
+}
+
+// TestMatMulKMajorIntoAllocs keeps the kernel allocation-free.
+func TestMatMulKMajorIntoAllocs(t *testing.T) {
+	rng := xrand.New(52)
+	a := New(16, 27)
+	rng.FillUniform(a.Data(), -1, 1)
+	bk := New(27, 12)
+	rng.FillUniform(bk.Data(), -1, 1)
+	c := New(16, 12)
+	if avg := testing.AllocsPerRun(50, func() { MatMulKMajorInto(c, a, bk) }); avg != 0 {
+		t.Fatalf("MatMulKMajorInto allocates %.2f/op, want 0", avg)
+	}
+}

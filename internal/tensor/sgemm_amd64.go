@@ -1,0 +1,23 @@
+//go:build amd64
+
+package tensor
+
+// useSGEMM reports whether the hand-written SSE2 micro-kernels are
+// available. SSE2 is part of the amd64 baseline (GOAMD64=v1), so no runtime
+// feature detection is needed.
+const useSGEMM = true
+
+// sgemm8cols computes c[i][0:8] = Σ_l a[i][l]·bk[l][0:8] for i in [0,m),
+// m a multiple of 4. a is row-major m×k, bk is k-major with row stride n
+// floats (the pointer is pre-offset to the column block), c has row stride
+// n floats. Each lane accumulates in strictly ascending l with separate
+// MULPS/ADDPS roundings, so results are bit-identical to the scalar
+// kernels.
+//
+//go:noescape
+func sgemm8cols(a, bk, c *float32, m, k, n int)
+
+// sgemm4cols is sgemm8cols for a 4-column block.
+//
+//go:noescape
+func sgemm4cols(a, bk, c *float32, m, k, n int)

@@ -1,0 +1,190 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func sgemm8cols(a, bk, c *float32, m, k, n int)
+//
+// c[i][0:8] = sum over l of a[i][l] * bk[l][0:8], rows in blocks of 4
+// (m must be a multiple of 4; the Go driver peels row tails).
+//
+// Register layout:
+//   SI  a row-block base          DX  bk base        DI  c row-block base
+//   R8  remaining rows            R9  k              R10 (scratch)
+//   R11 a row stride (k*4 bytes)  R12 b/c row stride (n*4 bytes)
+//   AX,BX,R13,R14  the four current a row pointers
+//   R15 current bk row pointer    CX  l countdown
+//   X0..X7 accumulators (row r cols j in X{2r} j<4, X{2r+1} j>=4)
+//   X8,X9 bk row halves           X10 broadcast a   X11 product scratch
+TEXT ·sgemm8cols(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bk+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R12
+	SHLQ $2, R12           // n*4: bk and c row stride in bytes
+	MOVQ R9, R11
+	SHLQ $2, R11           // k*4: a row stride in bytes
+	TESTQ R9, R9
+	JZ   done8
+
+rows8:
+	TESTQ R8, R8
+	JZ   done8
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+	MOVQ SI, AX            // a row 0
+	LEAQ (SI)(R11*1), BX   // a row 1
+	LEAQ (SI)(R11*2), R13  // a row 2
+	LEAQ (BX)(R11*2), R14  // a row 3
+	MOVQ DX, R15           // bk row 0
+	MOVQ R9, CX
+
+l8:
+	MOVUPS (R15), X8       // bk[l][0:4]
+	MOVUPS 16(R15), X9     // bk[l][4:8]
+
+	MOVSS (AX), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS X10, X11
+	ADDPS X11, X0
+	MULPS X9, X10
+	ADDPS X10, X1
+
+	MOVSS (BX), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS X10, X11
+	ADDPS X11, X2
+	MULPS X9, X10
+	ADDPS X10, X3
+
+	MOVSS (R13), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS X10, X11
+	ADDPS X11, X4
+	MULPS X9, X10
+	ADDPS X10, X5
+
+	MOVSS (R14), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS X10, X11
+	ADDPS X11, X6
+	MULPS X9, X10
+	ADDPS X10, X7
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, R13
+	ADDQ $4, R14
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  l8
+
+	MOVQ DI, AX
+	MOVUPS X0, (AX)
+	MOVUPS X1, 16(AX)
+	ADDQ R12, AX
+	MOVUPS X2, (AX)
+	MOVUPS X3, 16(AX)
+	ADDQ R12, AX
+	MOVUPS X4, (AX)
+	MOVUPS X5, 16(AX)
+	ADDQ R12, AX
+	MOVUPS X6, (AX)
+	MOVUPS X7, 16(AX)
+
+	LEAQ (SI)(R11*4), SI
+	LEAQ (DI)(R12*4), DI
+	SUBQ $4, R8
+	JMP  rows8
+
+done8:
+	RET
+
+// func sgemm4cols(a, bk, c *float32, m, k, n int)
+//
+// The 4-column variant: one accumulator register per row.
+TEXT ·sgemm4cols(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bk+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R12
+	SHLQ $2, R12
+	MOVQ R9, R11
+	SHLQ $2, R11
+	TESTQ R9, R9
+	JZ   done4
+
+rows4:
+	TESTQ R8, R8
+	JZ   done4
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ SI, AX
+	LEAQ (SI)(R11*1), BX
+	LEAQ (SI)(R11*2), R13
+	LEAQ (BX)(R11*2), R14
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+l4:
+	MOVUPS (R15), X8
+
+	MOVSS (AX), X10
+	SHUFPS $0x00, X10, X10
+	MULPS X8, X10
+	ADDPS X10, X0
+
+	MOVSS (BX), X10
+	SHUFPS $0x00, X10, X10
+	MULPS X8, X10
+	ADDPS X10, X1
+
+	MOVSS (R13), X10
+	SHUFPS $0x00, X10, X10
+	MULPS X8, X10
+	ADDPS X10, X2
+
+	MOVSS (R14), X10
+	SHUFPS $0x00, X10, X10
+	MULPS X8, X10
+	ADDPS X10, X3
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, R13
+	ADDQ $4, R14
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  l4
+
+	MOVQ DI, AX
+	MOVUPS X0, (AX)
+	ADDQ R12, AX
+	MOVUPS X1, (AX)
+	ADDQ R12, AX
+	MOVUPS X2, (AX)
+	ADDQ R12, AX
+	MOVUPS X3, (AX)
+
+	LEAQ (SI)(R11*4), SI
+	LEAQ (DI)(R12*4), DI
+	SUBQ $4, R8
+	JMP  rows4
+
+done4:
+	RET

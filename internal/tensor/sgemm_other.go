@@ -1,0 +1,18 @@
+//go:build !amd64
+
+package tensor
+
+// useSGEMM is false off amd64: MatMulKMajorInto runs the pure-Go lane
+// kernel, which computes identical bits.
+const useSGEMM = false
+
+// The stubs keep the driver compiling; they are unreachable behind
+// useSGEMM.
+
+func sgemm8cols(a, bk, c *float32, m, k, n int) {
+	panic("tensor: sgemm8cols without SIMD support")
+}
+
+func sgemm4cols(a, bk, c *float32, m, k, n int) {
+	panic("tensor: sgemm4cols without SIMD support")
+}

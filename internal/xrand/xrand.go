@@ -24,6 +24,11 @@ func New(seed int64) *RNG {
 	return &RNG{src: rand.New(rand.NewSource(seed))}
 }
 
+// Reseed resets the stream to the exact state of New(seed), reusing the
+// receiver's storage — the allocation-free way for steady-state loops
+// (DiffPIR restorations) to start a fresh deterministic stream per call.
+func (r *RNG) Reseed(seed int64) { r.src.Seed(seed) }
+
 // Split derives an independent child stream. The child's seed mixes the
 // parent stream state with a large odd constant so sibling splits diverge.
 func (r *RNG) Split() *RNG {
