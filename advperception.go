@@ -159,7 +159,15 @@ var (
 	// FGSMInto is FGSM writing into a caller-held frame (allocation-free
 	// per-frame attacks; see the README's Performance section).
 	FGSMInto = attack.FGSMInto
+	// FGSMBatch and AutoPGDBatch run the gradient attacks over a block of
+	// frames with fused forward/backward passes — bit-identical per frame
+	// to the per-frame attacks (see the README's Performance section).
+	FGSMBatch    = attack.FGSMBatch
+	AutoPGDBatch = attack.AutoPGDBatch
 )
+
+// BatchObjective is the batched attacker's view of a victim model.
+type BatchObjective = attack.BatchObjective
 
 // NewCAP returns the stateful runtime CAP attacker.
 func NewCAP(cfg attack.CAPConfig) *attack.CAP { return attack.NewCAP(cfg) }

@@ -77,8 +77,13 @@ func main() {
 		baseline  = flag.String("baseline", "", "previous BENCH_*.json to embed and diff against")
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		dry       = flag.Bool("print", false, "print the report to stdout instead of writing a file")
+		maxRegr   = flag.Float64("maxregress", 0, "exit non-zero when any benchmark's ns/op regresses more than this percentage vs -baseline (0 disables the gate)")
 	)
 	flag.Parse()
+	if *maxRegr != 0 && *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchreport: -maxregress requires -baseline")
+		os.Exit(2)
+	}
 
 	raw, err := runBench(*benchRE, *pkgs, *benchtime, *count)
 	if err != nil {
@@ -121,21 +126,40 @@ func main() {
 
 	if *dry {
 		os.Stdout.Write(buf)
-		return
+	} else {
+		path := *out
+		if path == "" {
+			path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+		}
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchreport: wrote %s (%d benchmarks", path, len(rep.Results))
+		if rep.Baseline != nil {
+			fmt.Printf(", %d deltas vs baseline", len(rep.Deltas))
+		}
+		fmt.Println(")")
 	}
-	path := *out
-	if path == "" {
-		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+
+	// The perf gate: with -maxregress set, any benchmark slower than the
+	// baseline by more than the threshold fails the run, which is how the
+	// CI perf-smoke job turns the printed deltas into a PR gate.
+	if *maxRegr != 0 {
+		bad := 0
+		for _, d := range rep.Deltas {
+			if d.NsPct > *maxRegr {
+				fmt.Fprintf(os.Stderr, "benchreport: REGRESSION %s: %.1f%% ns/op over baseline %.0f ns (limit %+.1f%%)\n",
+					d.Name, d.NsPct, d.NsBase, *maxRegr)
+				bad++
+			}
+		}
+		if bad > 0 {
+			fmt.Fprintf(os.Stderr, "benchreport: %d benchmark(s) regressed past -maxregress %.1f%%\n", bad, *maxRegr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchreport: perf gate passed (no ns/op regression > %.1f%% across %d deltas)\n", *maxRegr, len(rep.Deltas))
 	}
-	if err := os.WriteFile(path, buf, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchreport: write: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("benchreport: wrote %s (%d benchmarks", path, len(rep.Results))
-	if rep.Baseline != nil {
-		fmt.Printf(", %d deltas vs baseline", len(rep.Deltas))
-	}
-	fmt.Println(")")
 }
 
 // runBench shells out to go test and returns the combined output.

@@ -1,0 +1,225 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/box"
+	"repro/internal/detect"
+	"repro/internal/imaging"
+	"repro/internal/tensor"
+)
+
+// Batched white-box attacks: dataset-style evaluation attacks every frame
+// of a test set independently, so the gradient loops lift onto the batched
+// backward — one fused forward/backward (two GEMM-shaped passes) per block
+// of frames instead of N per-frame pairs. Per-frame results are
+// bit-identical to the per-frame attacks: the batch-first layer invariant
+// guarantees identical per-frame gradients, and every iterate update below
+// mirrors the per-frame loop operation for operation.
+
+// BatchObjective is the batched attacker's view of a victim model.
+type BatchObjective interface {
+	// LossGradBatch returns the packed [N,C,H,W] pixel gradient of the
+	// per-frame losses, writing the losses themselves into losses when it
+	// is non-nil (callers that only need gradients pass nil). The gradient
+	// tensor is owned by the victim model's workspace and valid until the
+	// model's next call. Per-frame losses and gradients are bit-identical
+	// to the per-frame Objective.LossGrad.
+	LossGradBatch(losses []float64, imgs []*imaging.Image) *tensor.Tensor
+}
+
+// DetectionSetObjective wraps a detector plus per-frame ground truth for
+// batched attacks over a frame set: GTs[i] is the ground truth of imgs[i]
+// in each LossGradBatch call, so callers slice both in lockstep.
+type DetectionSetObjective struct {
+	Det *detect.Detector
+	GTs [][]box.Box
+
+	lossBuf []float64
+}
+
+var _ BatchObjective = (*DetectionSetObjective)(nil)
+
+// LossGradBatch implements BatchObjective.
+func (o *DetectionSetObjective) LossGradBatch(losses []float64, imgs []*imaging.Image) *tensor.Tensor {
+	if losses == nil {
+		if cap(o.lossBuf) < len(imgs) {
+			o.lossBuf = make([]float64, len(imgs))
+		}
+		losses = o.lossBuf[:len(imgs)]
+	}
+	return o.Det.TrainLossBatch(losses, imgs, o.GTs[:len(imgs)])
+}
+
+// FGSMBatch runs the single-step fast gradient sign attack on a block of
+// frames with one fused forward/backward pass, writing the adversarial
+// frame of imgs[i] into dst[i] (which must match the frame geometry and not
+// alias it). masks may be nil, or hold one mask per frame with nil entries
+// meaning attack the whole frame. Results are bit-identical per frame to
+// FGSM.
+func FGSMBatch(dst []*imaging.Image, obj BatchObjective, imgs []*imaging.Image, eps float64, masks []*tensor.Tensor) {
+	n := len(imgs)
+	if len(dst) != n || (masks != nil && len(masks) != n) {
+		panic(fmt.Sprintf("attack: FGSMBatch dst %d / masks %d vs %d frames", len(dst), len(masks), n))
+	}
+	if n == 0 {
+		return
+	}
+	grads := obj.LossGradBatch(nil, imgs)
+	sample := imgs[0].C * imgs[0].H * imgs[0].W
+	gd := grads.Data()
+	e := float32(eps)
+	for i, img := range imgs {
+		gs := gd[i*sample : (i+1)*sample]
+		var md []float32
+		if masks != nil && masks[i] != nil {
+			md = masks[i].Data()
+		}
+		out := dst[i]
+		copy(out.Pix, img.Pix)
+		for j, g := range gs {
+			s := sign32(g)
+			if md != nil {
+				s *= md[j]
+			}
+			out.Pix[j] += e * s
+		}
+		out.Clamp()
+	}
+}
+
+// AutoPGDBatch runs Auto-PGD on a block of frames in lockstep: every
+// iteration evaluates one fused forward/backward over all frames, while
+// each frame keeps its own step size, momentum carry and best-iterate
+// bookkeeping — the per-frame iterate sequences, and therefore the returned
+// adversarial frames, are bit-identical to per-frame AutoPGD calls.
+func AutoPGDBatch(obj BatchObjective, imgs []*imaging.Image, cfg APGDConfig, masks []*tensor.Tensor) []*imaging.Image {
+	n := len(imgs)
+	if masks != nil && len(masks) != n {
+		panic(fmt.Sprintf("attack: AutoPGDBatch masks %d vs %d frames", len(masks), n))
+	}
+	if n == 0 {
+		return nil
+	}
+	c, h, w := imgs[0].C, imgs[0].H, imgs[0].W
+	sample := c * h * w
+
+	maskAt := func(i int) *tensor.Tensor {
+		if masks == nil {
+			return nil
+		}
+		return masks[i]
+	}
+
+	// Per-frame state, mirroring AutoPGD's locals.
+	xs := make([]*imaging.Image, n)
+	prevs := make([]*imaging.Image, n)
+	bests := make([]*imaging.Image, n)
+	zs := make([]*tensor.Tensor, n)
+	xNews := make([]*tensor.Tensor, n)
+	carrys := make([]*tensor.Tensor, n)
+	steps := make([]float64, n)
+	bestLoss := make([]float64, n)
+	improved := make([]int, n)
+	losses := make([]float64, n)
+	for i, img := range imgs {
+		xs[i] = img.Clone()
+		prevs[i] = img.Clone()
+		bests[i] = img.Clone()
+		zs[i] = img.Tensor().Clone()
+		xNews[i] = img.Tensor().Clone()
+		carrys[i] = img.Tensor().Clone()
+		steps[i] = 2 * cfg.Eps
+	}
+
+	grads := obj.LossGradBatch(losses, xs)
+	copy(bestLoss, losses)
+
+	// Per-frame views over the packed gradient, rebuilt only if the model
+	// workspace rotates the backing buffer (steady state: built once).
+	var gviews []*tensor.Tensor
+	var gbacking []float32
+	refreshViews := func() {
+		gdata := grads.Data()
+		if len(gbacking) == len(gdata) && len(gdata) > 0 && &gbacking[0] == &gdata[0] {
+			return
+		}
+		gbacking = gdata
+		gviews = make([]*tensor.Tensor, n)
+		for i := range gviews {
+			gviews[i] = tensor.FromSlice(gdata[i*sample:(i+1)*sample], c, h, w)
+		}
+	}
+	refreshViews()
+
+	checkpoint := cfg.Steps / 5
+	if checkpoint < 1 {
+		checkpoint = 1
+	}
+
+	for t := 0; t < cfg.Steps; t++ {
+		for i := range imgs {
+			grad := gviews[i]
+			mask := maskAt(i)
+			orig := imgs[i].Tensor()
+			xT := xs[i].Tensor()
+			prevT := prevs[i].Tensor()
+			z, xNew, carry := zs[i], xNews[i], carrys[i]
+
+			grad.SignInPlace()
+			applyMask(grad, mask)
+
+			// Candidate step.
+			copy(z.Data(), xT.Data())
+			z.AddScaledInPlace(grad, float32(steps[i]))
+			project(z, orig, cfg.Eps, mask)
+
+			// Momentum: blend the candidate with the previous movement.
+			copy(xNew.Data(), z.Data())
+			xNew.ScaleInPlace(float32(cfg.Alpha))
+			copy(carry.Data(), xT.Data())
+			carry.SubInPlace(prevT)
+			carry.AddInPlace(xT)
+			carry.ScaleInPlace(float32(1 - cfg.Alpha))
+			xNew.AddInPlace(carry)
+			project(xNew, orig, cfg.Eps, mask)
+
+			copy(prevs[i].Pix, xs[i].Pix)
+			copy(xs[i].Pix, xNew.Data())
+			xs[i].Clamp()
+		}
+
+		grads = obj.LossGradBatch(losses, xs)
+		refreshViews()
+		for i := range imgs {
+			if losses[i] > bestLoss[i] {
+				bestLoss[i] = losses[i]
+				copy(bests[i].Pix, xs[i].Pix)
+				improved[i]++
+			}
+		}
+
+		// Adaptive step halving at checkpoints, per frame. A restored frame
+		// needs its gradient refreshed at the best iterate; one extra fused
+		// pass recomputes every frame's gradient there (unchanged frames
+		// reproduce identical bits, restored frames pick up the best
+		// iterate's gradient — exactly what the per-frame loop computes).
+		if (t+1)%checkpoint == 0 {
+			restored := false
+			for i := range imgs {
+				if float64(improved[i]) < cfg.Rho*float64(checkpoint) {
+					steps[i] /= 2
+					copy(xs[i].Pix, bests[i].Pix)
+					copy(prevs[i].Pix, bests[i].Pix)
+					restored = true
+				}
+				improved[i] = 0
+			}
+			if restored {
+				grads = obj.LossGradBatch(nil, xs)
+				refreshViews()
+			}
+		}
+	}
+	return bests
+}

@@ -1,0 +1,160 @@
+package attack
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/box"
+	"repro/internal/detect"
+	"repro/internal/imaging"
+	"repro/internal/regress"
+	"repro/internal/tensor"
+	"repro/internal/testenv"
+	"repro/internal/xrand"
+)
+
+// batchAttackFrames renders n deterministic pseudo-frames with a fake lead
+// box each.
+func batchAttackFrames(n, size int) ([]*imaging.Image, []*tensor.Tensor) {
+	rng := xrand.New(41)
+	imgs := make([]*imaging.Image, n)
+	masks := make([]*tensor.Tensor, n)
+	for i := range imgs {
+		img := imaging.NewRGB(size, size)
+		rng.FillUniform(img.Pix, 0, 1)
+		imgs[i] = img
+		b := box.Box{X0: float64(2 + i%3), Y0: 3, X1: float64(size - 3), Y1: float64(size - 2 - i%2)}
+		masks[i] = BoxMask(3, size, size, b, 1)
+	}
+	// A nil mask entry means "attack the whole frame" and must work too.
+	masks[n-1] = nil
+	return imgs, masks
+}
+
+// TestFGSMBatchBitIdentical pins the batched single-step attack to the
+// per-frame FGSM frame for frame, across GOMAXPROCS.
+func TestFGSMBatchBitIdentical(t *testing.T) {
+	const n, size = 5, 24
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		reg := regress.New(xrand.New(5), size)
+		imgs, masks := batchAttackFrames(n, size)
+
+		single := &RegressionObjective{Reg: reg.Clone()}
+		want := make([]*imaging.Image, n)
+		for i, img := range imgs {
+			want[i] = FGSM(single, img, 0.03, masks[i])
+		}
+
+		obj := &RegressionObjective{Reg: reg}
+		dst := make([]*imaging.Image, n)
+		for i := range dst {
+			dst[i] = imaging.NewRGB(size, size)
+		}
+		FGSMBatch(dst, obj, imgs, 0.03, masks)
+		for i := range imgs {
+			for j := range want[i].Pix {
+				if dst[i].Pix[j] != want[i].Pix[j] {
+					t.Fatalf("procs=%d frame %d pixel %d: batched %v vs single %v",
+						procs, i, j, dst[i].Pix[j], want[i].Pix[j])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestAutoPGDBatchBitIdentical runs the full Auto-PGD loop — momentum,
+// best-iterate bookkeeping, checkpoint step-halving with gradient refresh —
+// batched against per-frame, requiring identical adversarial frames.
+func TestAutoPGDBatchBitIdentical(t *testing.T) {
+	const n, size = 4, 24
+	cfg := DefaultAPGDConfig(0.04)
+	cfg.Steps = 10 // two checkpoints: step halving and restore both fire
+
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		reg := regress.New(xrand.New(6), size)
+		imgs, masks := batchAttackFrames(n, size)
+
+		single := &RegressionObjective{Reg: reg.Clone()}
+		want := make([]*imaging.Image, n)
+		for i, img := range imgs {
+			want[i] = AutoPGD(single, img, cfg, masks[i])
+		}
+
+		obj := &RegressionObjective{Reg: reg}
+		got := AutoPGDBatch(obj, imgs, cfg, masks)
+		for i := range imgs {
+			for j := range want[i].Pix {
+				if got[i].Pix[j] != want[i].Pix[j] {
+					t.Fatalf("procs=%d frame %d pixel %d: batched %v vs single %v",
+						procs, i, j, got[i].Pix[j], want[i].Pix[j])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestDetectionSetObjectiveBitIdentical pins the batched detection loss
+// gradient (TrainLossBatch under DetectionSetObjective) to per-frame
+// TrainLoss, losses and pixel gradients both.
+func TestDetectionSetObjectiveBitIdentical(t *testing.T) {
+	const n, size = 4, 24
+	det := detect.New(xrand.New(9), size)
+	imgs, _ := batchAttackFrames(n, size)
+	gts := make([][]box.Box, n)
+	for i := range gts {
+		if i%2 == 0 { // alternate positive and negative frames
+			gts[i] = []box.Box{{X0: 4, Y0: 4, X1: 16, Y1: 16}}
+		}
+	}
+
+	singleDet := det.Clone()
+	wantLoss := make([]float64, n)
+	wantGrad := make([][]float32, n)
+	for i, img := range imgs {
+		l, g := singleDet.TrainLoss(img, gts[i])
+		wantLoss[i] = l
+		wantGrad[i] = append([]float32(nil), g.Data()...)
+	}
+
+	obj := &DetectionSetObjective{Det: det, GTs: gts}
+	losses := make([]float64, n)
+	grads := obj.LossGradBatch(losses, imgs)
+	sample := 3 * size * size
+	for i := range imgs {
+		if losses[i] != wantLoss[i] {
+			t.Fatalf("frame %d: batched loss %v vs single %v", i, losses[i], wantLoss[i])
+		}
+		row := grads.Data()[i*sample : (i+1)*sample]
+		for j, v := range row {
+			if v != wantGrad[i][j] {
+				t.Fatalf("frame %d grad %d: batched %v vs single %v", i, j, v, wantGrad[i][j])
+			}
+		}
+	}
+}
+
+// TestFGSMBatchSteadyStateAllocs guards the batched attack step: with the
+// model workspace warm and destinations reused, one fused FGSM block must
+// not touch the allocator.
+func TestFGSMBatchSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	const n, size = 4, 24
+	reg := regress.New(xrand.New(5), size)
+	obj := &RegressionObjective{Reg: reg}
+	imgs, masks := batchAttackFrames(n, size)
+	dst := make([]*imaging.Image, n)
+	for i := range dst {
+		dst[i] = imaging.NewRGB(size, size)
+	}
+	FGSMBatch(dst, obj, imgs, 0.03, masks) // warm the workspace
+	avg := testing.AllocsPerRun(50, func() { FGSMBatch(dst, obj, imgs, 0.03, masks) })
+	if avg >= 1 {
+		t.Fatalf("FGSMBatch allocates %.2f/op in steady state, want 0", avg)
+	}
+}

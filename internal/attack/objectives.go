@@ -35,15 +35,34 @@ func (o *DetectionObjective) Score(img *imaging.Image) float64 {
 // accelerates into a gap that does not exist — the CAP-Attack scenario).
 type RegressionObjective struct {
 	Reg *regress.Regressor
+
+	predBuf []float64
 }
 
 var _ Objective = (*RegressionObjective)(nil)
+var _ BatchObjective = (*RegressionObjective)(nil)
 
 // LossGrad implements Objective: loss = predicted distance (normalised),
 // so ascending it inflates the perceived gap.
 func (o *RegressionObjective) LossGrad(img *imaging.Image) (float64, *tensor.Tensor) {
 	pred, grad := o.Reg.DistanceGrad(img)
 	return pred / o.Reg.MaxDist, grad
+}
+
+// LossGradBatch implements BatchObjective: one fused forward/backward over
+// the block, with per-frame losses and gradients bit-identical to LossGrad.
+func (o *RegressionObjective) LossGradBatch(losses []float64, imgs []*imaging.Image) *tensor.Tensor {
+	if cap(o.predBuf) < len(imgs) {
+		o.predBuf = make([]float64, len(imgs))
+	}
+	preds := o.predBuf[:len(imgs)]
+	grads := o.Reg.DistanceGradBatch(preds, imgs)
+	if losses != nil {
+		for i, p := range preds {
+			losses[i] = p / o.Reg.MaxDist
+		}
+	}
+	return grads
 }
 
 // Score implements Objective: SimBA drives the score down, which here

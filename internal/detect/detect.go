@@ -51,6 +51,7 @@ type Detector struct {
 	lossTarget *tensor.Tensor
 	lossWeight *tensor.Tensor
 	lossGrad   *tensor.Tensor
+	lossGradB  *tensor.Tensor // [N,5,G,G] raw-map gradient for the batched loss
 }
 
 // BatchSize is the frame count DetectBatch feeds the network per forward,
@@ -273,16 +274,19 @@ func (d *Detector) LossGrad(raw *tensor.Tensor, gt []box.Box) (float64, *tensor.
 
 func (d *Detector) lossWithTargets(raw, target, weight *tensor.Tensor) (float64, *tensor.Tensor) {
 	g := d.Grid
-	plane := g * g
 	if d.lossGrad == nil || !d.lossGrad.ShapeEq(numCh, g, g) {
 		d.lossGrad = tensor.New(numCh, g, g)
 	}
-	grad := d.lossGrad
-	grad.Zero()
-	rawD := raw.Data()
-	tD := target.Data()
-	wD := weight.Data()
-	gD := grad.Data()
+	loss := d.lossInto(d.lossGrad.Data(), raw.Data(), target.Data(), weight.Data())
+	return loss, d.lossGrad
+}
+
+// lossInto computes one sample's detection loss and writes its raw-map
+// gradient into gD (fully overwritten) — the slice-level body both the
+// per-sample and batched loss paths share.
+func (d *Detector) lossInto(gD, rawD, tD, wD []float32) float64 {
+	plane := d.Grid * d.Grid
+	clear(gD[:numCh*plane])
 	n := float64(plane) // normalise per-cell so loss scale is grid-independent
 
 	var loss float64
@@ -307,16 +311,61 @@ func (d *Detector) lossWithTargets(raw, target, weight *tensor.Tensor) (float64,
 		loss += 0.5 * w * diff * diff
 		gD[i] = float32(w * diff / n)
 	}
-	return loss / n, grad
+	return loss / n
+}
+
+// LossGradBatch computes the detection loss of every sample in a batched
+// [N,5,G,G] prediction map against per-sample ground truth, writing
+// per-sample losses into losses and returning the [N,5,G,G] gradient
+// (detector-owned scratch, valid until the next loss call). Per-sample
+// losses and gradients are bit-identical to LossGrad.
+func (d *Detector) LossGradBatch(losses []float64, raw *tensor.Tensor, gts [][]Box) *tensor.Tensor {
+	g := d.Grid
+	n := len(gts)
+	if raw.Len() != n*numCh*g*g || len(losses) != n {
+		panic(fmt.Sprintf("detect: LossGradBatch raw %v / %d losses vs %d samples", raw.Shape(), len(losses), n))
+	}
+	if d.lossTarget == nil || !d.lossTarget.ShapeEq(numCh, g, g) {
+		d.lossTarget = tensor.New(numCh, g, g)
+		d.lossWeight = tensor.New(numCh, g, g)
+	}
+	if d.lossGradB == nil || !d.lossGradB.ShapeEq(n, numCh, g, g) {
+		d.lossGradB = tensor.New(n, numCh, g, g)
+	}
+	plane5 := numCh * g * g
+	rawD := raw.Data()
+	gD := d.lossGradB.Data()
+	for i, gt := range gts {
+		d.targetsInto(d.lossTarget, d.lossWeight, gt)
+		losses[i] = d.lossInto(gD[i*plane5:(i+1)*plane5], rawD[i*plane5:(i+1)*plane5],
+			d.lossTarget.Data(), d.lossWeight.Data())
+	}
+	return d.lossGradB
 }
 
 // TrainLoss runs a forward pass and returns loss and input gradient; it is
-// the primitive white-box attacks use (∇x of the training loss).
+// the primitive white-box attacks use (∇x of the training loss). Only the
+// input gradient is computed (BackwardInput): attacks never read parameter
+// gradients, so the weight-gradient GEMMs of a full backward are skipped.
 func (d *Detector) TrainLoss(img *imaging.Image, gt []box.Box) (float64, *tensor.Tensor) {
 	raw := d.Net.Forward(img.Tensor(), false)
 	loss, grad := d.LossGrad(raw, gt)
-	d.Net.ZeroGrad()
-	return loss, d.Net.Backward(grad)
+	return loss, d.Net.BackwardInput(grad)
+}
+
+// TrainLossBatch is TrainLoss over a whole block of frames: one batched
+// forward and one batched input-gradient backward — two GEMM-shaped passes
+// — instead of N per-frame pairs. losses must have len(imgs) elements;
+// gts holds one ground-truth list per frame. The returned [N,3,S,S] pixel
+// gradient is owned by the model workspace and valid until the model's
+// next call. Per-frame losses and gradients are bit-identical to TrainLoss.
+func (d *Detector) TrainLossBatch(losses []float64, imgs []*imaging.Image, gts [][]Box) *tensor.Tensor {
+	if len(losses) != len(imgs) || len(gts) != len(imgs) {
+		panic(fmt.Sprintf("detect: TrainLossBatch %d losses / %d gts vs %d frames", len(losses), len(gts), len(imgs)))
+	}
+	raw := d.ForwardBatch(imgs)
+	grad := d.LossGradBatch(losses, raw, gts)
+	return d.Net.BackwardInput(grad)
 }
 
 // MaxObjectness returns the maximum post-sigmoid objectness over the grid,

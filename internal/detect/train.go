@@ -9,6 +9,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/scene"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -51,45 +52,25 @@ func DefaultTrainConfig() TrainConfig {
 	return TrainConfig{Epochs: 30, Batch: 16, LR: 3e-3, Seed: 1, DecayAt: 0.6, DecayFactor: 0.3}
 }
 
-// Train fits the detector on the sign set. Each epoch shuffles the data,
-// accumulates gradients over mini-batches and applies an Adam step.
-// It returns the final mean epoch loss.
+// Train fits the detector on the sign set. Each epoch shuffles the data
+// and runs each mini-batch as one batched forward and one batched backward
+// (two GEMM-shaped passes) before applying an Adam step. It returns the
+// final mean epoch loss.
 func (d *Detector) Train(set *dataset.SignSet, cfg TrainConfig) float64 {
-	rng := xrand.New(cfg.Seed)
-	opt := nn.NewAdam(cfg.LR)
-	idx := make([]int, set.Len())
-	for i := range idx {
-		idx[i] = i
+	imgs := make([]*imaging.Image, set.Len())
+	gts := make([][]Box, set.Len())
+	for i, sc := range set.Scenes {
+		imgs[i] = sc.Img
+		gts[i] = gtBoxes(sc)
 	}
-	var epochLoss float64
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		maybeDecay(opt, cfg, epoch)
-		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		epochLoss = 0
-		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
-			d.Net.ZeroGrad()
-			for _, bi := range batch {
-				sc := set.Scenes[idx[bi]]
-				raw := d.Net.Forward(sc.Img.Tensor(), true)
-				gt := gtBoxes(sc)
-				loss, grad := d.LossGrad(raw, gt)
-				epochLoss += loss
-				d.Net.Backward(grad)
-			}
-			scaleGrads(d.Net.Params(), 1/float32(len(batch)))
-			nn.ClipGradNorm(d.Net.Params(), 10)
-			opt.Step(d.Net.Params())
-		}
-		epochLoss /= float64(set.Len())
-		if cfg.Logf != nil {
-			cfg.Logf("detect: epoch %d/%d loss %.5f", epoch+1, cfg.Epochs, epochLoss)
-		}
-	}
-	return epochLoss
+	return d.TrainImages(imgs, gts, cfg)
 }
 
-// TrainImages fits the detector on explicit image/ground-truth pairs;
-// the adversarial-training defense uses it with perturbed images.
+// TrainImages fits the detector on explicit image/ground-truth pairs; the
+// adversarial-training defense uses it with perturbed images. Per-sample
+// losses and raw-map gradients match the old per-sample loop exactly;
+// parameter gradients accumulate across each batch in one backward pass
+// (float-rounding-level difference only).
 func (d *Detector) TrainImages(imgs []*imaging.Image, gts [][]Box, cfg TrainConfig) float64 {
 	rng := xrand.New(cfg.Seed)
 	opt := nn.NewAdam(cfg.LR)
@@ -97,21 +78,44 @@ func (d *Detector) TrainImages(imgs []*imaging.Image, gts [][]Box, cfg TrainConf
 	for i := range idx {
 		idx[i] = i
 	}
-	var epochLoss float64
+	var (
+		batchBuf  *tensor.Tensor
+		batchGTs  [][]Box
+		losses    []float64
+		sample    = 3 * d.Size * d.Size
+		epochLoss float64
+	)
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		maybeDecay(opt, cfg, epoch)
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss = 0
 		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
-			d.Net.ZeroGrad()
-			for _, bi := range batch {
-				k := idx[bi]
-				raw := d.Net.Forward(imgs[k].Tensor(), true)
-				loss, grad := d.LossGrad(raw, gts[k])
-				epochLoss += loss
-				d.Net.Backward(grad)
+			nb := len(batch)
+			// Pack buffers live at full cfg.Batch capacity; a short tail
+			// batch is a view, so the epoch boundary never reallocates.
+			if batchBuf == nil || batchBuf.Len() < cfg.Batch*sample {
+				batchBuf = tensor.New(cfg.Batch, 3, d.Size, d.Size)
+				batchGTs = make([][]Box, cfg.Batch)
+				losses = make([]float64, cfg.Batch)
 			}
-			scaleGrads(d.Net.Params(), 1/float32(len(batch)))
+			in := batchBuf
+			if nb != in.Dim(0) {
+				in = tensor.FromSlice(in.Data()[:nb*sample], nb, 3, d.Size, d.Size)
+			}
+			bd := in.Data()
+			for bi, b := range batch {
+				k := idx[b]
+				copy(bd[bi*sample:(bi+1)*sample], imgs[k].Pix)
+				batchGTs[bi] = gts[k]
+			}
+			d.Net.ZeroGrad()
+			raw := d.Net.Forward(in, true)
+			grad := d.LossGradBatch(losses[:nb], raw, batchGTs[:nb])
+			for _, l := range losses[:nb] {
+				epochLoss += l
+			}
+			d.Net.Backward(grad)
+			scaleGrads(d.Net.Params(), 1/float32(nb))
 			nn.ClipGradNorm(d.Net.Params(), 10)
 			opt.Step(d.Net.Params())
 		}

@@ -5,10 +5,12 @@ import (
 	"sort"
 
 	"repro/internal/attack"
+	"repro/internal/box"
 	"repro/internal/dataset"
 	"repro/internal/detect"
 	"repro/internal/imaging"
 	"repro/internal/regress"
+	"repro/internal/tensor"
 	"repro/internal/xrand"
 )
 
@@ -37,8 +39,11 @@ var DetectionKinds = []Kind{KindNone, KindFGSM, KindAPGD, KindRP2, KindGaussian,
 var RegressionKinds = []Kind{KindGaussian, KindFGSM, KindAPGD, KindCAP}
 
 // AttackSignSet returns attacked copies of every image in a sign set,
-// against the given (possibly hardened) detector. Attacks run in parallel
-// over images with per-worker model clones.
+// against the given (possibly hardened) detector. FGSM and Auto-PGD run
+// batched — BatchSize frames per fused forward/backward, blocks in
+// parallel over per-worker model clones, frame-for-frame bit-identical to
+// the per-frame attacks; the query- and rng-driven attacks parallelise per
+// frame as before.
 func (e *Env) AttackSignSet(det *detect.Detector, set *dataset.SignSet, kind Kind, seed int64) []*imaging.Image {
 	out := make([]*imaging.Image, set.Len())
 	if kind == KindNone {
@@ -46,6 +51,9 @@ func (e *Env) AttackSignSet(det *detect.Detector, set *dataset.SignSet, kind Kin
 			out[i] = sc.Img.Clone()
 		}
 		return out
+	}
+	if kind == KindFGSM || kind == KindAPGD {
+		return e.attackSignSetBatched(det, set, kind)
 	}
 
 	workers := make([]*detect.Detector, maxWorkers(set.Len()))
@@ -63,12 +71,6 @@ func (e *Env) AttackSignSet(det *detect.Detector, set *dataset.SignSet, kind Kin
 		switch kind {
 		case KindGaussian:
 			out[i] = attack.Gaussian(rng, sc.Img, b.DetGaussianSigma, nil)
-		case KindFGSM:
-			out[i] = attack.FGSM(obj, sc.Img, b.DetFGSMEps, nil)
-		case KindAPGD:
-			cfg := attack.DefaultAPGDConfig(b.DetAPGDEps)
-			cfg.Steps = p.APGDSteps
-			out[i] = attack.AutoPGD(obj, sc.Img, cfg, nil)
 		case KindSimBA:
 			cfg := attack.DefaultSimBAConfig()
 			cfg.Eps = b.DetSimBAEps
@@ -91,11 +93,51 @@ func (e *Env) AttackSignSet(det *detect.Detector, set *dataset.SignSet, kind Kin
 	return out
 }
 
+// attackSignSetBatched runs the gradient attacks in BatchSize blocks, each
+// block one fused forward/backward per attack step.
+func (e *Env) attackSignSetBatched(det *detect.Detector, set *dataset.SignSet, kind Kind) []*imaging.Image {
+	n := set.Len()
+	out := make([]*imaging.Image, n)
+	b := e.Budgets
+	p := e.Preset
+	blocks := (n + detect.BatchSize - 1) / detect.BatchSize
+	workers := make([]*detect.Detector, maxWorkers(blocks))
+	for i := range workers {
+		workers[i] = det.Clone()
+	}
+	parallelMap(blocks, func(w, bi int) {
+		lo, hi := blockRange(bi, detect.BatchSize, n)
+		imgs := make([]*imaging.Image, hi-lo)
+		gts := make([][]box.Box, hi-lo)
+		for i := lo; i < hi; i++ {
+			imgs[i-lo] = set.Scenes[i].Img
+			gts[i-lo] = detect.GTBoxes(set.Scenes[i])
+		}
+		obj := &attack.DetectionSetObjective{Det: workers[w], GTs: gts}
+		switch kind {
+		case KindFGSM:
+			dst := make([]*imaging.Image, hi-lo)
+			for i := range dst {
+				dst[i] = imaging.NewImage(imgs[i].C, imgs[i].H, imgs[i].W)
+			}
+			attack.FGSMBatch(dst, obj, imgs, b.DetFGSMEps, nil)
+			copy(out[lo:hi], dst)
+		case KindAPGD:
+			cfg := attack.DefaultAPGDConfig(b.DetAPGDEps)
+			cfg.Steps = p.APGDSteps
+			copy(out[lo:hi], attack.AutoPGDBatch(obj, imgs, cfg, nil))
+		}
+	})
+	return out
+}
+
 // AttackDriveSet returns attacked copies of every frame in a driving set,
 // against the given regressor. Per the paper's protocol, perturbations are
 // confined to the lead-vehicle region. CAP runs sequentially over frames
 // ordered by decreasing distance (an approach sequence) so its warm-started
-// patch inheritance is exercised; the other attacks parallelise per frame.
+// patch inheritance is exercised; FGSM and Auto-PGD run batched (BatchSize
+// frames per fused forward/backward, blocks in parallel, bit-identical per
+// frame); Gaussian parallelises per frame.
 func (e *Env) AttackDriveSet(reg *regress.Regressor, set *dataset.DriveSet, kind Kind, seed int64) []*imaging.Image {
 	out := make([]*imaging.Image, set.Len())
 	if kind == KindNone {
@@ -104,8 +146,10 @@ func (e *Env) AttackDriveSet(reg *regress.Regressor, set *dataset.DriveSet, kind
 		}
 		return out
 	}
+	if kind == KindFGSM || kind == KindAPGD {
+		return e.attackDriveSetBatched(reg, set, kind)
+	}
 	b := e.Budgets
-	p := e.Preset
 
 	if kind == KindCAP {
 		// Approach order: farthest first, as a camera would see a slow
@@ -126,27 +170,55 @@ func (e *Env) AttackDriveSet(reg *regress.Regressor, set *dataset.DriveSet, kind
 		return out
 	}
 
-	workers := make([]*regress.Regressor, maxWorkers(set.Len()))
-	for i := range workers {
-		workers[i] = reg.Clone()
-	}
-	parallelMap(set.Len(), func(w, i int) {
+	parallelMap(set.Len(), func(_, i int) {
 		sc := set.Scenes[i]
-		r := workers[w]
-		obj := &attack.RegressionObjective{Reg: r}
 		mask := attack.BoxMask(sc.Img.C, sc.Img.H, sc.Img.W, sc.LeadBox, 1)
 		rng := xrand.New(seed + int64(i)*2003)
 		switch kind {
 		case KindGaussian:
 			out[i] = attack.Gaussian(rng, sc.Img, b.RegGaussianSigma, mask)
+		default:
+			panic(fmt.Sprintf("eval: attack %q not applicable to regression", kind))
+		}
+	})
+	return out
+}
+
+// attackDriveSetBatched runs the gradient attacks in BatchSize blocks, each
+// block one fused forward/backward per attack step, with per-frame
+// lead-vehicle masks.
+func (e *Env) attackDriveSetBatched(reg *regress.Regressor, set *dataset.DriveSet, kind Kind) []*imaging.Image {
+	n := set.Len()
+	out := make([]*imaging.Image, n)
+	b := e.Budgets
+	p := e.Preset
+	blocks := (n + regress.BatchSize - 1) / regress.BatchSize
+	workers := make([]*regress.Regressor, maxWorkers(blocks))
+	for i := range workers {
+		workers[i] = reg.Clone()
+	}
+	parallelMap(blocks, func(w, bi int) {
+		lo, hi := blockRange(bi, regress.BatchSize, n)
+		imgs := make([]*imaging.Image, hi-lo)
+		masks := make([]*tensor.Tensor, hi-lo)
+		for i := lo; i < hi; i++ {
+			sc := set.Scenes[i]
+			imgs[i-lo] = sc.Img
+			masks[i-lo] = attack.BoxMask(sc.Img.C, sc.Img.H, sc.Img.W, sc.LeadBox, 1)
+		}
+		obj := &attack.RegressionObjective{Reg: workers[w]}
+		switch kind {
 		case KindFGSM:
-			out[i] = attack.FGSM(obj, sc.Img, b.RegFGSMEps, mask)
+			dst := make([]*imaging.Image, hi-lo)
+			for i := range dst {
+				dst[i] = imaging.NewImage(imgs[i].C, imgs[i].H, imgs[i].W)
+			}
+			attack.FGSMBatch(dst, obj, imgs, b.RegFGSMEps, masks)
+			copy(out[lo:hi], dst)
 		case KindAPGD:
 			cfg := attack.DefaultAPGDConfig(b.RegAPGDEps)
 			cfg.Steps = p.APGDSteps
-			out[i] = attack.AutoPGD(obj, sc.Img, cfg, mask)
-		default:
-			panic(fmt.Sprintf("eval: attack %q not applicable to regression", kind))
+			copy(out[lo:hi], attack.AutoPGDBatch(obj, imgs, cfg, masks))
 		}
 	})
 	return out

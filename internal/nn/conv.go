@@ -7,17 +7,19 @@ import (
 	"repro/internal/xrand"
 )
 
-// Conv2D is a 2-D convolution implemented with an im2col/im2row lowering so
-// the inner loop is a single matrix multiply. It is batch-first: a rank-4
-// [N,C,H,W] input runs the whole batch through one patch-major lowering and
-// one blocked MatMul; a rank-3 CHW input takes the original per-sample
-// column-major path. The two paths produce bit-identical values frame for
-// frame (every output element is the same ascending-k dot product plus one
-// bias rounding), so batching is purely a throughput decision.
+// Conv2D is a 2-D convolution implemented with an im2row lowering so the
+// inner loop is a single k-major SIMD matrix multiply. Single CHW samples
+// and [N,C,H,W] batches run the same unified kernel path — one patch-major
+// Im2RowInto lowering, one MatMulKMajorInto, one fused permute+bias pass —
+// so the single-frame forward enjoys the same SIMD throughput as batched
+// inference. Every output element is an ascending-k float32 dot product
+// plus one bias rounding, the exact per-element order of the original
+// scalar packed kernel: unifying the paths changed no bits (the tests pin
+// single-frame outputs against an Im2Col+MatMul reference).
 //
 // Weights are stored as an (outC)×(inC·K·K) matrix; bias is per output
-// channel. All per-call tensors (columns/patches, outputs, gradient
-// scratch) live in the model workspace and are reused across calls.
+// channel. All per-call tensors (patches, outputs, gradient scratch) live
+// in the model workspace and are reused across calls.
 type Conv2D struct {
 	InC, OutC   int
 	K           int
@@ -27,18 +29,31 @@ type Conv2D struct {
 
 	scratch
 
-	// Activation caches for Backward: the lowering of the last forward and
-	// the geometry it was built with, so Backward never re-derives shapes.
-	// lastBatch == 0 marks the single-sample path, else the batch size.
-	lastCols    *tensor.Tensor // single path: (InC·K·K) × (OutH·OutW)
-	lastPatches *tensor.Tensor // batched path: (N·OutH·OutW) × (InC·K·K)
+	// Activation caches for Backward: the patch-major lowering of the last
+	// forward and the geometry it was built with, so Backward never
+	// re-derives shapes. lastBatch is the sample count (1 for a CHW
+	// input); lastRank4 records whether the input carried a leading batch
+	// dimension, so Backward returns a gradient of matching rank.
+	lastPatches *tensor.Tensor // (N·OutH·OutW) × (InC·K·K)
 	lastGeom    tensor.ConvGeom
 	lastOutHW   int
 	lastBatch   int
-
-	outView  viewCache // 3-D view over the 2-D matmul output
-	gradView viewCache // 2-D view over the incoming CHW gradient
+	lastRank4   bool
 }
+
+// convScratchNames keys the workspace buffers of one conv path. The single
+// and batched paths use disjoint key sets so a model alternating between
+// per-frame and batched calls keeps both shape families warm instead of
+// reallocating on every switch. The transposed weight matrix is absent:
+// its shape is batch-independent, so both paths share one "wT" key.
+type convScratchNames struct {
+	patches, pm, gm, dW, dP, dX string
+}
+
+var (
+	convSingleKeys = convScratchNames{"patchesS", "pmS", "gmS", "dWS", "dPS", "dXS"}
+	convBatchKeys  = convScratchNames{"patchesB", "pmB", "gmB", "dWB", "dPB", "dXB"}
+)
 
 var _ Layer = (*Conv2D)(nil)
 
@@ -54,72 +69,49 @@ func NewConv2D(rng *xrand.RNG, inC, outC, k, stride, pad int) *Conv2D {
 	}
 }
 
-// Forward implements Layer: rank-4 inputs take the batched path, rank-3 the
-// per-sample one.
+// Forward implements Layer: rank-4 [N,C,H,W] batches and rank-3 CHW
+// samples run the same unified kernel path; only the output rank differs.
 func (c *Conv2D) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
-	if x.Rank() == 4 {
-		return c.forwardBatch(x)
-	}
-	if x.Rank() != 3 || x.Dim(0) != c.InC {
+	switch {
+	case x.Rank() == 4 && x.Dim(1) == c.InC:
+		g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(2), InW: x.Dim(3), K: c.K, Stride: c.Stride, Pad: c.Pad}
+		n := x.Dim(0)
+		out := c.workspace().Tensor4(c, "out4", n, c.OutC, g.OutH(), g.OutW())
+		c.lastRank4 = true
+		c.runForward(out, x, n, g, &convBatchKeys)
+		return out
+	case x.Rank() == 3 && x.Dim(0) == c.InC:
+		g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
+		out := c.workspace().Tensor3(c, "out3", c.OutC, g.OutH(), g.OutW())
+		c.lastRank4 = false
+		c.runForward(out, x, 1, g, &convSingleKeys)
+		return out
+	default:
 		panic(fmt.Sprintf("nn: Conv2D expects (%d,H,W) or (N,%d,H,W), got %v", c.InC, c.InC, x.Shape()))
 	}
-	ws := c.workspace()
-	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
-	outH, outW := g.OutH(), g.OutW()
-	oHW := outH * outW
-
-	cols := ws.Tensor2(c, "cols", c.InC*c.K*c.K, oHW)
-	tensor.Im2ColInto(cols, x, g)
-	out := ws.Tensor2(c, "out", c.OutC, oHW)
-	tensor.MatMulInto(out, c.w.Value, cols)
-
-	// Broadcast bias across spatial positions.
-	od := out.Data()
-	bd := c.b.Value.Data()
-	for ch := 0; ch < c.OutC; ch++ {
-		bias := bd[ch]
-		row := od[ch*oHW : (ch+1)*oHW]
-		for i := range row {
-			row[i] += bias
-		}
-	}
-	c.lastCols = cols
-	c.lastGeom = g
-	c.lastOutHW = oHW
-	c.lastBatch = 0
-	return c.outView.of3(out, c.OutC, outH, outW)
 }
 
-// forwardBatch runs the whole [N,C,H,W] batch through one patch-major
-// lowering and one blocked MatMul. The orientation is flipped relative to
-// the single path — patches · Wᵀ instead of W · cols — so the small weight
-// matrix stays cache-resident while the batch streams through once; the
-// output is then permuted into NCHW with the bias fused into the pass.
-func (c *Conv2D) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
-	if x.Dim(1) != c.InC {
-		panic(fmt.Sprintf("nn: Conv2D expects (N,%d,H,W), got %v", c.InC, x.Shape()))
-	}
+// runForward lowers the input (batched or single) into patch-major rows and
+// runs one SIMD k-major MatMul. The orientation keeps the small weight
+// matrix cache-resident — patches · Wᵀ — while the samples stream through
+// once; the output is then permuted into (N)CHW with the bias fused into
+// the pass. v stored-then-added and v+bias round identically, so the fused
+// bias matches a separate broadcast pass bit for bit.
+func (c *Conv2D) runForward(out, x *tensor.Tensor, n int, g tensor.ConvGeom, nm *convScratchNames) {
 	ws := c.workspace()
-	n := x.Dim(0)
-	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(2), InW: x.Dim(3), K: c.K, Stride: c.Stride, Pad: c.Pad}
-	outH, outW := g.OutH(), g.OutW()
-	p := outH * outW
+	p := g.OutH() * g.OutW()
 	l := c.InC * c.K * c.K
 
-	patches := ws.Tensor2(c, "patches", n*p, l)
+	patches := ws.Tensor2(c, nm.patches, n*p, l)
 	tensor.Im2RowInto(patches, x, g)
-	// One SIMD k-major MatMul for the whole batch: the weight matrix is
-	// transposed once (tiny, and weights may have changed since the last
-	// call) so each lane accumulates one output element in ascending k.
-	wT := ws.Tensor2(c, "wTB", l, c.OutC)
+	// The weight matrix is transposed per call (tiny, and weights may have
+	// changed since the last call) so each lane accumulates one output
+	// element in ascending k.
+	wT := ws.Tensor2(c, "wT", l, c.OutC)
 	tensor.Transpose2DInto(wT, c.w.Value)
-	pm := ws.Tensor2(c, "pout", n*p, c.OutC)
+	pm := ws.Tensor2(c, nm.pm, n*p, c.OutC)
 	tensor.MatMulKMajorInto(pm, patches, wT)
 
-	// Permute (N·P)×OutC → [N,OutC,OutH,OutW], adding the bias in the same
-	// pass. s stored-then-added and s+bias round identically, so this
-	// matches the single path bit for bit.
-	out := ws.Tensor4(c, "out4", n, c.OutC, outH, outW)
 	od := out.Data()
 	pd := pm.Data()
 	bd := c.b.Value.Data()
@@ -137,64 +129,46 @@ func (c *Conv2D) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	c.lastGeom = g
 	c.lastOutHW = p
 	c.lastBatch = n
-	return out
 }
 
-// Backward implements Layer, dispatching on the path the last Forward took.
+// Backward implements Layer. The input gradient of each sample is
+// bit-identical to the pre-unification per-sample path (same per-element
+// accumulation order); the parameter gradients accumulate across the whole
+// batch in one pass, so for N>1 their summation order differs from N
+// sequential single-sample backwards by floating-point rounding only.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.lastBatch > 0 {
-		return c.backwardBatch(grad)
-	}
-	ws := c.workspace()
-	g := c.lastGeom
-	oHW := c.lastOutHW
-	gm := c.gradView.of2(grad, c.OutC, oHW)
-
-	// dW += G · colsᵀ. The columns are stored untransposed, which is
-	// exactly the layout MatMulTransB consumes — no materialised transpose.
-	dW := ws.TensorLike(c, "dW", c.w.Value)
-	tensor.MatMulTransBInto(dW, gm, c.lastCols)
-	c.w.Grad.AddInPlace(dW)
-
-	// db += row sums of G.
-	gd := gm.Data()
-	bg := c.b.Grad.Data()
-	for ch := 0; ch < c.OutC; ch++ {
-		var s float32
-		for _, v := range gd[ch*oHW : (ch+1)*oHW] {
-			s += v
-		}
-		bg[ch] += s
-	}
-
-	// dX = col2im(Wᵀ · G)
-	wT := ws.Tensor2(c, "wT", c.InC*c.K*c.K, c.OutC)
-	tensor.Transpose2DInto(wT, c.w.Value)
-	dCols := ws.Tensor2(c, "dCols", c.InC*c.K*c.K, oHW)
-	tensor.MatMulInto(dCols, wT, gm)
-	dX := ws.Tensor3(c, "dX", g.InC, g.InH, g.InW)
-	tensor.Col2ImInto(dX, dCols, g)
-	return dX
+	nm := c.scratchKeys()
+	gm := c.permuteGrad(grad, nm, true)
+	c.accumWeightGrad(gm, nm)
+	return c.inputGrad(gm, nm)
 }
 
-// backwardBatch is the batched adjoint. The input gradient of each sample
-// is bit-identical to the single path (same per-element accumulation
-// order); the parameter gradients accumulate across the whole batch in one
-// pass, so their summation order differs from N sequential single-sample
-// backwards by floating-point rounding only.
-func (c *Conv2D) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
-	ws := c.workspace()
-	g := c.lastGeom
-	n := c.lastBatch
-	p := c.lastOutHW
-	l := c.InC * c.K * c.K
+// BackwardInput implements inputGradLayer: the same input gradient as
+// Backward, with the dW/db accumulation skipped entirely.
+func (c *Conv2D) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	nm := c.scratchKeys()
+	return c.inputGrad(c.permuteGrad(grad, nm, false), nm)
+}
 
-	// Reverse permute [N,OutC,P] → (N·P)×OutC, folding db's column sums
-	// into the same pass.
-	gm := ws.Tensor2(c, "gmB", n*p, c.OutC)
+func (c *Conv2D) scratchKeys() *convScratchNames {
+	if c.lastRank4 {
+		return &convBatchKeys
+	}
+	return &convSingleKeys
+}
+
+// permuteGrad reverse-permutes the incoming [N,OutC,P] gradient into the
+// patch-major (N·P)×OutC layout the gradient GEMMs consume, optionally
+// folding db's column sums into the same pass.
+func (c *Conv2D) permuteGrad(grad *tensor.Tensor, nm *convScratchNames, withBias bool) *tensor.Tensor {
+	n, p := c.lastBatch, c.lastOutHW
+	gm := c.workspace().Tensor2(c, nm.gm, n*p, c.OutC)
 	gmd := gm.Data()
 	gd := grad.Data()
-	bg := c.b.Grad.Data()
+	var bg []float32
+	if withBias {
+		bg = c.b.Grad.Data()
+	}
 	for s := 0; s < n; s++ {
 		src := gd[s*c.OutC*p:]
 		dst := gmd[s*p*c.OutC:]
@@ -205,15 +179,23 @@ func (c *Conv2D) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 				dst[pi*c.OutC+oc] = v
 				sum += v
 			}
-			bg[oc] += sum
+			if withBias {
+				bg[oc] += sum
+			}
 		}
 	}
+	return gm
+}
 
-	// dW[oc] += Σ over patch rows gm[r][oc] · patches[r]: rank-1 updates
-	// streaming the patches once while dW stays cache-resident.
-	dW := ws.TensorLike(c, "dWB", c.w.Value)
+// accumWeightGrad adds dW[oc] += Σ over patch rows gm[r][oc] · patches[r]:
+// rank-1 updates streaming the patches once while dW stays cache-resident.
+func (c *Conv2D) accumWeightGrad(gm *tensor.Tensor, nm *convScratchNames) {
+	n, p := c.lastBatch, c.lastOutHW
+	l := c.InC * c.K * c.K
+	dW := c.workspace().TensorLike(c, nm.dW, c.w.Value)
 	dW.Zero()
 	dwd := dW.Data()
+	gmd := gm.Data()
 	ptd := c.lastPatches.Data()
 	for r := 0; r < n*p; r++ {
 		grow := gmd[r*c.OutC : r*c.OutC+c.OutC]
@@ -229,11 +211,24 @@ func (c *Conv2D) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	c.w.Grad.AddInPlace(dW)
+}
 
-	// dX = row2im(G · W), one blocked MatMul for the batch.
-	dP := ws.Tensor2(c, "dPatches", n*p, l)
-	tensor.MatMulInto(dP, gm, c.w.Value)
-	dX := ws.Tensor4(c, "dX4", n, g.InC, g.InH, g.InW)
+// inputGrad computes dX = row2im(G · W): the weight matrix is already
+// k-major for this product (the contraction runs over OutC), so the SIMD
+// kernel consumes it directly with no transpose.
+func (c *Conv2D) inputGrad(gm *tensor.Tensor, nm *convScratchNames) *tensor.Tensor {
+	ws := c.workspace()
+	g := c.lastGeom
+	n, p := c.lastBatch, c.lastOutHW
+	l := c.InC * c.K * c.K
+	dP := ws.Tensor2(c, nm.dP, n*p, l)
+	tensor.MatMulKMajorInto(dP, gm, c.w.Value)
+	var dX *tensor.Tensor
+	if c.lastRank4 {
+		dX = ws.Tensor4(c, nm.dX, n, g.InC, g.InH, g.InW)
+	} else {
+		dX = ws.Tensor3(c, nm.dX, g.InC, g.InH, g.InW)
+	}
 	tensor.Row2ImInto(dX, dP, g)
 	return dX
 }

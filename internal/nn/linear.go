@@ -7,21 +7,26 @@ import (
 	"repro/internal/xrand"
 )
 
-// Linear is a fully connected layer y = Wx + b. It is batch-first: a rank-2
-// [N,In] input runs the whole batch through one blocked MatMul (the gemv →
-// gemm lift that dominates the batched-inference win on the dense head); any
-// input with exactly In elements is treated as a single flat vector on the
-// original per-sample path. Both paths compute every output element as the
-// same ascending-index dot product, so they agree bit for bit.
+// Linear is a fully connected layer y = Wx + b. Single flat vectors and
+// [N,In] batches run the same unified kernel path: one k-major SIMD MatMul
+// against the transposed weight matrix (for a single sample that is a
+// 1×In gemv, which the kernel's single-row assembly tail keeps on SIMD),
+// then a bias pass. Every output element is the same ascending-index
+// float32 dot product plus one bias rounding as the original per-sample
+// scalar loop, so unifying the paths changed no bits.
 type Linear struct {
 	In, Out int
 
 	w, b *Param
 
 	scratch
-	inView    viewCache
-	lastIn    *tensor.Tensor
-	lastBatch int // 0 = single-sample path, else N of the last forward
+	lastIn    *tensor.Tensor // workspace copy of the forward input, [N,In]
+	lastBatch int            // N of the last forward (1 for a flat vector)
+	lastFlat  bool           // input was a flat vector: outputs keep rank 1
+
+	outView viewCache // rank-1 view over the [1,Out] output
+	gmView  viewCache // rank-2 view over the incoming gradient
+	dxView  viewCache // rank-1 view over the [1,In] input gradient
 }
 
 var _ Layer = (*Linear)(nil)
@@ -38,51 +43,57 @@ func NewLinear(rng *xrand.RNG, in, out int) *Linear {
 	}
 }
 
+// linearScratchNames keys the workspace buffers of one dense path; like
+// Conv2D, the flat-single and batched paths use disjoint key sets so a
+// model alternating between per-frame and batched calls keeps both shape
+// families warm instead of reallocating on every switch.
+type linearScratchNames struct {
+	lastIn, out, dx string
+}
+
+var (
+	linearSingleKeys = linearScratchNames{"lastInS", "outS", "dxS"}
+	linearBatchKeys  = linearScratchNames{"lastInB", "outB", "dxB"}
+)
+
 // Forward implements Layer. Rank-2 [N,In] inputs are a batch (including
 // batch-of-1, which keeps its leading dimension); any other shape with
-// exactly In elements is treated as one flat vector.
+// exactly In elements is treated as one flat vector and returns a flat
+// [Out] vector.
 func (l *Linear) Forward(x *tensor.Tensor, _ bool) *tensor.Tensor {
 	if x.Rank() == 2 && x.Dim(1) == l.In {
-		return l.forwardBatch(x)
+		l.lastFlat = false
+		return l.runForward(x.Data(), x.Dim(0))
 	}
 	if x.Len() != l.In {
 		panic(fmt.Sprintf("nn: Linear expects %d inputs or a (N,%d) batch, got shape %v", l.In, l.In, x.Shape()))
 	}
-	ws := l.workspace()
-	flat := l.inView.of1(x)
-	lastIn := ws.Tensor1(l, "lastIn", l.In)
-	copy(lastIn.Data(), flat.Data())
-	l.lastIn = lastIn
-	l.lastBatch = 0
-	out := ws.Tensor1(l, "out", l.Out)
-	wd := l.w.Value.Data()
-	xd := flat.Data()
-	od := out.Data()
-	bd := l.b.Value.Data()
-	for o := 0; o < l.Out; o++ {
-		row := wd[o*l.In : (o+1)*l.In]
-		var s float32
-		for i, wv := range row {
-			s += wv * xd[i]
-		}
-		od[o] = s + bd[o]
-	}
-	return out
+	l.lastFlat = true
+	return l.outView.of1(l.runForward(x.Data(), 1))
 }
 
-// forwardBatch computes the [N,Out] batch output as X · Wᵀ with the blocked
-// TransB kernel — one gemm instead of N gemvs — then adds the bias.
-func (l *Linear) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
+func (l *Linear) scratchKeys() *linearScratchNames {
+	if l.lastFlat {
+		return &linearSingleKeys
+	}
+	return &linearBatchKeys
+}
+
+// runForward computes the [N,Out] output as X · Wᵀ with the k-major SIMD
+// kernel — one gemm for the batch, a SIMD gemv for a single sample — then
+// adds the bias. The input is copied into workspace scratch first (Backward
+// needs it), and that stable copy is the MatMul operand, so no per-call
+// tensor view of the caller's storage is ever built.
+func (l *Linear) runForward(xd []float32, n int) *tensor.Tensor {
 	ws := l.workspace()
-	n := x.Dim(0)
-	lastIn := ws.Tensor2(l, "lastInB", n, l.In)
-	copy(lastIn.Data(), x.Data())
+	lastIn := ws.Tensor2(l, l.scratchKeys().lastIn, n, l.In)
+	copy(lastIn.Data(), xd)
 	l.lastIn = lastIn
 	l.lastBatch = n
-	out := ws.Tensor2(l, "outB", n, l.Out)
-	wT := ws.Tensor2(l, "wTB", l.In, l.Out)
+	wT := ws.Tensor2(l, "wT", l.In, l.Out)
 	tensor.Transpose2DInto(wT, l.w.Value)
-	tensor.MatMulKMajorInto(out, x, wT)
+	out := ws.Tensor2(l, l.scratchKeys().out, n, l.Out)
+	tensor.MatMulKMajorInto(out, lastIn, wT)
 	od := out.Data()
 	bd := l.b.Value.Data()
 	for r := 0; r < n; r++ {
@@ -94,66 +105,53 @@ func (l *Linear) forwardBatch(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Layer, dispatching on the path the last Forward took.
+// Backward implements Layer: per-sample input gradients are bit-identical
+// to the pre-unification per-sample loop; parameter gradients accumulate
+// across the batch in one pass.
 func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if l.lastBatch > 0 {
-		return l.backwardBatch(grad)
-	}
-	gd := grad.Data()
-	wd := l.w.Value.Data()
-	wg := l.w.Grad.Data()
-	bg := l.b.Grad.Data()
-	xd := l.lastIn.Data()
-
-	dx := l.workspace().Tensor1(l, "dx", l.In)
-	dx.Zero()
-	dxd := dx.Data()
-	for o := 0; o < l.Out; o++ {
-		g := gd[o]
-		bg[o] += g
-		row := wd[o*l.In : (o+1)*l.In]
-		grow := wg[o*l.In : (o+1)*l.In]
-		if g == 0 {
-			continue
-		}
-		for i := range row {
-			grow[i] += g * xd[i]
-			dxd[i] += g * row[i]
-		}
-	}
-	return dx
-}
-
-// backwardBatch propagates a [N,Out] gradient: per-sample input gradients
-// match the single path bit for bit; parameter gradients accumulate across
-// the batch in one pass.
-func (l *Linear) backwardBatch(grad *tensor.Tensor) *tensor.Tensor {
 	n := l.lastBatch
 	gd := grad.Data()
-	wd := l.w.Value.Data()
 	wg := l.w.Grad.Data()
 	bg := l.b.Grad.Data()
 	xd := l.lastIn.Data()
 
-	dx := l.workspace().Tensor2(l, "dxB", n, l.In)
-	dx.Zero()
-	dxd := dx.Data()
 	for r := 0; r < n; r++ {
 		grow := gd[r*l.Out : (r+1)*l.Out]
 		xrow := xd[r*l.In : (r+1)*l.In]
-		dxrow := dxd[r*l.In : (r+1)*l.In]
 		for o, g := range grow {
 			bg[o] += g
 			if g == 0 {
 				continue
 			}
-			row := wd[o*l.In : (o+1)*l.In]
 			wgrow := wg[o*l.In : (o+1)*l.In]
-			for i := range row {
+			for i := range wgrow {
 				wgrow[i] += g * xrow[i]
-				dxrow[i] += g * row[i]
 			}
 		}
+	}
+
+	return l.inputGrad(grad, n)
+}
+
+// BackwardInput implements inputGradLayer: the same input gradient as
+// Backward with the dW/db accumulation skipped.
+func (l *Linear) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	return l.inputGrad(grad, l.lastBatch)
+}
+
+// inputGrad computes dx = G · W: the weight matrix is already k-major for
+// this product (the contraction runs over Out), so the SIMD kernel consumes
+// it directly — each dx element is the same ascending-o dot product the
+// old scalar accumulation computed.
+func (l *Linear) inputGrad(grad *tensor.Tensor, n int) *tensor.Tensor {
+	gm := grad
+	if gm.Rank() != 2 {
+		gm = l.gmView.of2(grad, n, l.Out)
+	}
+	dx := l.workspace().Tensor2(l, l.scratchKeys().dx, n, l.In)
+	tensor.MatMulKMajorInto(dx, gm, l.w.Value)
+	if l.lastFlat {
+		return l.dxView.of1(dx)
 	}
 	return dx
 }

@@ -6,18 +6,23 @@
 //
 //   - Layers are batch-first: every layer accepts a leading batch
 //     dimension ([N,C,H,W] images, [N,In] vectors) and runs the whole batch
-//     through one lowering and one blocked MatMul instead of N small ones.
-//     Single-sample CHW/flat inputs remain first-class (they take the
-//     original per-sample kernels), and the two paths are bit-identical
-//     frame for frame: every output element is the same ascending-index
-//     float32 dot product, so batching is purely a throughput decision.
+//     through one lowering and one MatMul instead of N small ones.
+//     Single-sample CHW/flat inputs remain first-class and run the SAME
+//     unified kernel path (one k-major SIMD MatMul; for Linear that is a
+//     single-row gemv the assembly row tail keeps on SIMD). Batched,
+//     single and pre-unification scalar results are all bit-identical:
+//     every output element is the same ascending-index float32 dot
+//     product, so both batching and the kernel ladder are purely
+//     throughput decisions.
 //   - Backward returns the gradient with respect to the layer input and
-//     accumulates parameter gradients, so a single Forward/Backward pair
-//     yields ∇x J for FGSM/PGD/RP2/CAP. Batched Backward keeps per-sample
-//     input gradients bit-identical to the single path; parameter gradients
-//     accumulate across the batch in one pass, whose summation order
-//     differs from N sequential single-sample backwards by float rounding
-//     only (trainers that need the legacy order keep looping per sample).
+//     accumulates parameter gradients. Sequential.BackwardInput skips the
+//     parameter-gradient work and returns the identical ∇x — the attack
+//     primitive for FGSM/PGD/RP2/CAP, which never read weight gradients.
+//     Batched Backward keeps per-sample input gradients bit-identical to
+//     the single path; parameter gradients accumulate across the batch in
+//     one pass, whose summation order differs from N sequential
+//     single-sample backwards by float rounding only (the trainers run
+//     this batched path).
 //   - Layers cache activations between Forward and Backward, so a network
 //     instance is not safe for concurrent use. Clone() produces an
 //     independent copy (parameters deep-copied) for parallel evaluation.
@@ -117,6 +122,31 @@ func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	for i := len(s.layers) - 1; i >= 0; i-- {
 		grad = s.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// inputGradLayer is implemented by layers with trainable parameters whose
+// BackwardInput computes only the input gradient, skipping the parameter-
+// gradient accumulation. The input gradient must be bit-identical to what
+// Backward returns.
+type inputGradLayer interface {
+	BackwardInput(grad *tensor.Tensor) *tensor.Tensor
+}
+
+// BackwardInput propagates grad through all layers and returns the gradient
+// with respect to the network input WITHOUT accumulating any parameter
+// gradients. It is the attack primitive: FGSM, Auto-PGD, RP2 and CAP only
+// consume the pixel gradient ∇x J, so the weight-gradient work of a full
+// Backward (roughly a third of the pass on the conv stacks here) is
+// skipped. The returned input gradient is bit-identical to Backward's.
+func (s *Sequential) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.layers) - 1; i >= 0; i-- {
+		if ig, ok := s.layers[i].(inputGradLayer); ok {
+			grad = ig.BackwardInput(grad)
+		} else {
+			grad = s.layers[i].Backward(grad)
+		}
 	}
 	return grad
 }

@@ -112,33 +112,46 @@ func (g *GroupNorm) forwardSample(xd, nd, od, std []float32, h, w int) {
 
 // Backward implements Layer.
 func (g *GroupNorm) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return g.backward(grad, true)
+}
+
+// BackwardInput implements inputGradLayer: the same input gradient as
+// Backward with the dgamma/dbeta accumulation skipped.
+func (g *GroupNorm) BackwardInput(grad *tensor.Tensor) *tensor.Tensor {
+	return g.backward(grad, false)
+}
+
+func (g *GroupNorm) backward(grad *tensor.Tensor, withParams bool) *tensor.Tensor {
 	dx := g.workspace().TensorLike(g, "dx", grad)
 	sample := g.C * g.lastH * g.lastW
 	for s := 0; s < g.lastBatch; s++ {
 		g.backwardSample(grad.Data()[s*sample:(s+1)*sample], g.lastNorm.Data()[s*sample:(s+1)*sample],
-			dx.Data()[s*sample:(s+1)*sample], g.lastStd[s*g.Groups:(s+1)*g.Groups], g.lastH, g.lastW)
+			dx.Data()[s*sample:(s+1)*sample], g.lastStd[s*g.Groups:(s+1)*g.Groups], g.lastH, g.lastW, withParams)
 	}
 	return dx
 }
 
-// backwardSample computes one sample's input and parameter gradients.
-func (g *GroupNorm) backwardSample(gradD, nd, dxd, std []float32, h, w int) {
+// backwardSample computes one sample's input gradient, plus the parameter
+// gradients when withParams is set.
+func (g *GroupNorm) backwardSample(gradD, nd, dxd, std []float32, h, w int, withParams bool) {
 	chPerG := g.C / g.Groups
 	n := chPerG * h * w
 	gammaD := g.gamma.Value.Data()
-	gammaG := g.gamma.Grad.Data()
-	betaG := g.beta.Grad.Data()
 
-	// Parameter gradients: dgamma_c = Σ grad·norm over spatial, dbeta_c = Σ grad.
-	for c := 0; c < g.C; c++ {
-		base := c * h * w
-		var dg, db float32
-		for i := 0; i < h*w; i++ {
-			dg += gradD[base+i] * nd[base+i]
-			db += gradD[base+i]
+	if withParams {
+		gammaG := g.gamma.Grad.Data()
+		betaG := g.beta.Grad.Data()
+		// Parameter gradients: dgamma_c = Σ grad·norm over spatial, dbeta_c = Σ grad.
+		for c := 0; c < g.C; c++ {
+			base := c * h * w
+			var dg, db float32
+			for i := 0; i < h*w; i++ {
+				dg += gradD[base+i] * nd[base+i]
+				db += gradD[base+i]
+			}
+			gammaG[c] += dg
+			betaG[c] += db
 		}
-		gammaG[c] += dg
-		betaG[c] += db
 	}
 
 	// Input gradient per group:

@@ -1,0 +1,287 @@
+package nn
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/tensor"
+	"repro/internal/testenv"
+	"repro/internal/xrand"
+)
+
+// The single-frame conv/linear paths were unified onto the k-major SIMD
+// kernel; these tests pin them byte-for-byte against the previous scalar
+// implementations, which survive in the tensor package (Im2Col/Col2Im,
+// MatMul, MatMulTransB) exactly so they can serve as references here. Any
+// kernel change that alters a single bit of a forward or backward fails.
+
+// legacyConvForward is the pre-unification single-sample path: column-major
+// Im2Col lowering, packed scalar MatMul, broadcast bias.
+func legacyConvForward(c *Conv2D, x *tensor.Tensor) *tensor.Tensor {
+	ps := c.Params()
+	w, b := ps[0].Value, ps[1].Value
+	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
+	oHW := g.OutH() * g.OutW()
+	cols := tensor.New(c.InC*c.K*c.K, oHW)
+	tensor.Im2ColInto(cols, x, g)
+	out := tensor.New(c.OutC, oHW)
+	tensor.MatMulInto(out, w, cols)
+	od := out.Data()
+	bd := b.Data()
+	for ch := 0; ch < c.OutC; ch++ {
+		bias := bd[ch]
+		row := od[ch*oHW : (ch+1)*oHW]
+		for i := range row {
+			row[i] += bias
+		}
+	}
+	return out.Reshape(c.OutC, g.OutH(), g.OutW())
+}
+
+// legacyConvBackward is the pre-unification single-sample adjoint: dW via
+// the packed MatMulTransB against the columns, db row sums, dX through
+// Wᵀ·G and Col2Im. It returns (dW, db, dX) without touching the layer.
+func legacyConvBackward(c *Conv2D, x, grad *tensor.Tensor) (dW, db, dX *tensor.Tensor) {
+	ps := c.Params()
+	w := ps[0].Value
+	g := tensor.ConvGeom{InC: c.InC, InH: x.Dim(1), InW: x.Dim(2), K: c.K, Stride: c.Stride, Pad: c.Pad}
+	oHW := g.OutH() * g.OutW()
+	cols := tensor.New(c.InC*c.K*c.K, oHW)
+	tensor.Im2ColInto(cols, x, g)
+	gm := grad.Reshape(c.OutC, oHW)
+
+	dW = tensor.New(c.OutC, c.InC*c.K*c.K)
+	tensor.MatMulTransBInto(dW, gm, cols)
+
+	db = tensor.New(c.OutC)
+	gd := gm.Data()
+	for ch := 0; ch < c.OutC; ch++ {
+		var s float32
+		for _, v := range gd[ch*oHW : (ch+1)*oHW] {
+			s += v
+		}
+		db.Data()[ch] = s
+	}
+
+	wT := tensor.New(c.InC*c.K*c.K, c.OutC)
+	tensor.Transpose2DInto(wT, w)
+	dCols := tensor.New(c.InC*c.K*c.K, oHW)
+	tensor.MatMulInto(dCols, wT, gm)
+	dX = tensor.New(g.InC, g.InH, g.InW)
+	tensor.Col2ImInto(dX, dCols, g)
+	return dW, db, dX
+}
+
+// TestConv2DUnifiedMatchesScalarReference pins the unified single-frame
+// conv forward AND backward to the previous scalar path byte for byte,
+// across geometries and GOMAXPROCS settings (kernel choice is CPU-gated,
+// never worker-count-gated).
+func TestConv2DUnifiedMatchesScalarReference(t *testing.T) {
+	type geom struct{ inC, outC, k, stride, pad, h, w int }
+	geoms := []geom{
+		{3, 12, 3, 2, 1, 32, 32}, // DistNet/TinyDet first stage
+		{12, 24, 3, 2, 1, 16, 16},
+		{8, 5, 3, 1, 1, 9, 7}, // odd spatial size, stride 1
+		{4, 8, 3, 2, 1, 10, 14},
+	}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		for _, ge := range geoms {
+			rng := xrand.New(int64(ge.inC*100 + ge.outC))
+			c := NewConv2D(rng, ge.inC, ge.outC, ge.k, ge.stride, ge.pad)
+			x := tensor.New(ge.inC, ge.h, ge.w)
+			rng.FillUniform(x.Data(), -1, 1)
+
+			got := c.Forward(x, false)
+			want := legacyConvForward(c, x)
+			if !got.ShapeEq(want.Shape()...) {
+				t.Fatalf("procs=%d %+v: shape %v vs %v", procs, ge, got.Shape(), want.Shape())
+			}
+			for i := range want.Data() {
+				if got.Data()[i] != want.Data()[i] {
+					t.Fatalf("procs=%d %+v: forward diverges at %d: %v vs %v",
+						procs, ge, i, got.Data()[i], want.Data()[i])
+				}
+			}
+
+			grad := tensor.New(got.Shape()...)
+			rng.FillUniform(grad.Data(), -1, 1)
+			gradCopy := grad.Clone()
+			dX := c.Backward(grad)
+			wantW, wantB, wantX := legacyConvBackward(c, x, gradCopy)
+			for i := range wantX.Data() {
+				if dX.Data()[i] != wantX.Data()[i] {
+					t.Fatalf("procs=%d %+v: dX diverges at %d", procs, ge, i)
+				}
+			}
+			ps := c.Params()
+			for i := range wantW.Data() {
+				if ps[0].Grad.Data()[i] != wantW.Data()[i] {
+					t.Fatalf("procs=%d %+v: dW diverges at %d: %v vs %v",
+						procs, ge, i, ps[0].Grad.Data()[i], wantW.Data()[i])
+				}
+			}
+			for i := range wantB.Data() {
+				if ps[1].Grad.Data()[i] != wantB.Data()[i] {
+					t.Fatalf("procs=%d %+v: db diverges at %d", procs, ge, i)
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestLinearUnifiedMatchesScalarReference pins the unified single-sample
+// dense forward and backward to the previous explicit gemv loops.
+func TestLinearUnifiedMatchesScalarReference(t *testing.T) {
+	rng := xrand.New(31)
+	const in, out = 57, 13
+	l := NewLinear(rng, in, out)
+	ps := l.Params()
+	wd := ps[0].Value.Data()
+	bd := ps[1].Value.Data()
+	x := tensor.New(in)
+	rng.FillUniform(x.Data(), -1, 1)
+
+	got := l.Forward(x, false)
+	if got.Rank() != 1 || got.Dim(0) != out {
+		t.Fatalf("single Linear output shape %v", got.Shape())
+	}
+	for o := 0; o < out; o++ {
+		var s float32
+		for i := 0; i < in; i++ {
+			s += wd[o*in+i] * x.Data()[i]
+		}
+		if want := s + bd[o]; got.Data()[o] != want {
+			t.Fatalf("forward diverges at %d: %v vs %v", o, got.Data()[o], want)
+		}
+	}
+
+	grad := tensor.New(out)
+	rng.FillUniform(grad.Data(), -1, 1)
+	dx := l.Backward(grad)
+	if dx.Rank() != 1 || dx.Dim(0) != in {
+		t.Fatalf("single Linear input grad shape %v", dx.Shape())
+	}
+	wg := ps[0].Grad.Data()
+	bg := ps[1].Grad.Data()
+	for i := 0; i < in; i++ {
+		var s float32
+		for o := 0; o < out; o++ {
+			s += grad.Data()[o] * wd[o*in+i]
+		}
+		if dx.Data()[i] != s {
+			t.Fatalf("dx diverges at %d: %v vs %v", i, dx.Data()[i], s)
+		}
+	}
+	for o := 0; o < out; o++ {
+		if bg[o] != grad.Data()[o] {
+			t.Fatalf("db diverges at %d", o)
+		}
+		for i := 0; i < in; i++ {
+			if want := grad.Data()[o] * x.Data()[i]; wg[o*in+i] != want {
+				t.Fatalf("dW diverges at (%d,%d)", o, i)
+			}
+		}
+	}
+}
+
+// TestBackwardInputMatchesBackward checks the attack-path backward: the
+// input gradient must equal a full Backward's bit for bit while leaving
+// every parameter gradient untouched.
+func TestBackwardInputMatchesBackward(t *testing.T) {
+	for _, n := range []int{1, 4} {
+		net, batch, _ := batchTestNet(n)
+		ref := net.Clone()
+
+		seedB := tensor.New(n, 2)
+		for s := 0; s < n; s++ {
+			seedB.Data()[s*2], seedB.Data()[s*2+1] = 0.9, -0.4
+		}
+		ref.Forward(batch, false)
+		ref.ZeroGrad()
+		want := ref.Backward(seedB).Clone()
+
+		net.Forward(batch, false)
+		net.ZeroGrad()
+		got := net.BackwardInput(seedB)
+		for i := range want.Data() {
+			if got.Data()[i] != want.Data()[i] {
+				t.Fatalf("n=%d: BackwardInput diverges from Backward at %d", n, i)
+			}
+		}
+		for _, p := range net.Params() {
+			for i, v := range p.Grad.Data() {
+				if v != 0 {
+					t.Fatalf("n=%d: BackwardInput accumulated into %s grad at %d", n, p.Name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestLinearSingleSteadyStateAllocs extends the allocation budgets to the
+// unified single-sample dense path (forward, full backward and the
+// input-only backward).
+func TestLinearSingleSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	rng := xrand.New(7)
+	l := NewLinear(rng, 96, 24)
+	x := tensor.New(96)
+	rng.FillUniform(x.Data(), -1, 1)
+	out := l.Forward(x, false)
+	grad := tensor.New(out.Shape()...)
+	grad.Fill(0.25)
+	l.Backward(grad)
+	l.BackwardInput(grad)
+	if avg := testing.AllocsPerRun(100, func() { l.Forward(x, false) }); avg >= 1 {
+		t.Fatalf("single Linear.Forward allocates %.2f/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { l.Backward(grad) }); avg >= 1 {
+		t.Fatalf("single Linear.Backward allocates %.2f/op in steady state, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() { l.BackwardInput(grad) }); avg >= 1 {
+		t.Fatalf("single Linear.BackwardInput allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestConv2DBackwardInputSteadyStateAllocs guards the attack-path conv
+// backward the same way the full backward is guarded.
+func TestConv2DBackwardInputSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	rng := xrand.New(1)
+	c := NewConv2D(rng, 3, 16, 3, 2, 1)
+	x := tensor.New(3, 32, 32)
+	out := c.Forward(x, false)
+	grad := tensor.New(out.Shape()...)
+	grad.Fill(0.5)
+	c.BackwardInput(grad)
+	if avg := testing.AllocsPerRun(100, func() { c.BackwardInput(grad) }); avg >= 1 {
+		t.Fatalf("Conv2D.BackwardInput allocates %.2f/op in steady state, want 0", avg)
+	}
+}
+
+// TestBatchBackwardSteadyStateAllocs extends the allocation budgets to the
+// batched backward the trainers now drive: once the workspace is sized,
+// a batched forward+backward pass must not touch the allocator.
+func TestBatchBackwardSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	net, batch, _ := batchTestNet(8)
+	seedB := tensor.New(8, 2)
+	seedB.Fill(0.5)
+	step := func() {
+		net.Forward(batch, false)
+		net.ZeroGrad()
+		net.Backward(seedB)
+	}
+	step() // size the workspace
+	if avg := testing.AllocsPerRun(50, step); avg >= 1 {
+		t.Fatalf("batched forward+backward allocates %.2f/op in steady state, want 0", avg)
+	}
+}

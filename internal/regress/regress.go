@@ -24,7 +24,10 @@ type Regressor struct {
 	MaxDist float64 // normalisation constant: output 1.0 == MaxDist meters
 
 	seed     *tensor.Tensor // reusable backward seed for DistanceGrad
+	seedB    *tensor.Tensor // reusable [N,1] backward seed for DistanceGradBatch
 	batchBuf *tensor.Tensor // reusable [N,3,S,S] input pack for PredictBatch
+	trainBuf *tensor.Tensor // reusable [B,3,S,S] input pack for TrainImages
+	trainTgt *tensor.Tensor // reusable [B,1] gradient seed for TrainImages
 }
 
 // BatchSize is the frame count PredictBatch feeds the network per forward:
@@ -126,7 +129,9 @@ func (r *Regressor) PredictBatchInto(dst []float64, imgs []*imaging.Image) []flo
 
 // DistanceGrad returns the gradient of the predicted distance with respect
 // to the input pixels — the primitive the regression attacks ascend to push
-// the prediction toward larger (or smaller) distances.
+// the prediction toward larger (or smaller) distances. Only the input
+// gradient is computed (BackwardInput): attacks never read parameter
+// gradients, so the weight-gradient GEMMs of a full backward are skipped.
 func (r *Regressor) DistanceGrad(img *imaging.Image) (pred float64, grad *tensor.Tensor) {
 	out := r.Net.Forward(img.Tensor(), false)
 	pred = float64(out.Data()[0]) * r.MaxDist
@@ -134,9 +139,31 @@ func (r *Regressor) DistanceGrad(img *imaging.Image) (pred float64, grad *tensor
 		r.seed = tensor.New(1)
 	}
 	r.seed.Data()[0] = 1 // d(pred_norm)/d(out) = 1
-	r.Net.ZeroGrad()
-	grad = r.Net.Backward(r.seed)
+	grad = r.Net.BackwardInput(r.seed)
 	return pred, grad
+}
+
+// DistanceGradBatch is DistanceGrad over a whole block of frames: one
+// batched forward and one batched input-gradient backward — two GEMM-shaped
+// passes — instead of N per-frame pairs. preds must have len(imgs)
+// elements and receives the predicted distances in meters; the returned
+// [N,3,S,S] gradient is owned by the model workspace and valid until the
+// model's next call. Per-frame predictions and gradients are bit-identical
+// to DistanceGrad.
+func (r *Regressor) DistanceGradBatch(preds []float64, imgs []*imaging.Image) *tensor.Tensor {
+	if len(preds) != len(imgs) {
+		panic(fmt.Sprintf("regress: DistanceGradBatch preds %d vs %d frames", len(preds), len(imgs)))
+	}
+	out := r.ForwardBatch(imgs)
+	n := len(imgs)
+	for i := 0; i < n; i++ {
+		preds[i] = float64(out.Data()[i]) * r.MaxDist
+	}
+	if r.seedB == nil || !r.seedB.ShapeEq(n, 1) {
+		r.seedB = tensor.New(n, 1)
+	}
+	r.seedB.Fill(1)
+	return r.Net.BackwardInput(r.seedB)
 }
 
 // TrainConfig controls regressor training.
@@ -167,7 +194,11 @@ func (r *Regressor) Train(set *dataset.DriveSet, cfg TrainConfig) float64 {
 }
 
 // TrainImages fits on explicit image/distance pairs (the adversarial-
-// training defense passes perturbed frames).
+// training defense passes perturbed frames). Each mini-batch runs as one
+// batched forward and one batched backward — two GEMM-shaped passes —
+// instead of per-sample loops; per-sample losses and gradient seeds match
+// the old per-sample MSE exactly, with parameter gradients accumulating
+// across the batch in one pass (float-rounding-level difference only).
 func (r *Regressor) TrainImages(imgs []*imaging.Image, dists []float64, cfg TrainConfig) float64 {
 	rng := xrand.New(cfg.Seed)
 	opt := nn.NewAdam(cfg.LR)
@@ -175,22 +206,40 @@ func (r *Regressor) TrainImages(imgs []*imaging.Image, dists []float64, cfg Trai
 	for i := range idx {
 		idx[i] = i
 	}
+	sample := 3 * r.Size * r.Size
 	var epochLoss float64
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
 		epochLoss = 0
 		for _, batch := range dataset.Batches(len(idx), cfg.Batch) {
-			r.Net.ZeroGrad()
-			for _, bi := range batch {
-				k := idx[bi]
-				out := r.Net.Forward(imgs[k].Tensor(), true)
-				target := tensor.New(1)
-				target.Data()[0] = float32(dists[k] / r.MaxDist)
-				loss, grad := nn.MSE(out, target)
-				epochLoss += loss
-				r.Net.Backward(grad)
+			nb := len(batch)
+			// Pack buffers live at full cfg.Batch capacity; a short tail
+			// batch is a view, so the epoch boundary never reallocates.
+			if r.trainBuf == nil || r.trainBuf.Len() < cfg.Batch*sample {
+				r.trainBuf = tensor.New(cfg.Batch, 3, r.Size, r.Size)
+				r.trainTgt = tensor.New(cfg.Batch, 1)
 			}
-			scaleGrads(r.Net.Params(), 1/float32(len(batch)))
+			in, tgt := r.trainBuf, r.trainTgt
+			if nb != in.Dim(0) {
+				in = tensor.FromSlice(in.Data()[:nb*sample], nb, 3, r.Size, r.Size)
+				tgt = tensor.FromSlice(tgt.Data()[:nb], nb, 1)
+			}
+			bd := in.Data()
+			for bi, b := range batch {
+				copy(bd[bi*sample:(bi+1)*sample], imgs[idx[b]].Pix)
+			}
+			r.Net.ZeroGrad()
+			out := r.Net.Forward(in, true)
+			// Per-sample MSE on the single normalised output: loss 0.5·d²
+			// and gradient seed d, exactly the old per-sample values.
+			sd := tgt.Data()
+			for bi, b := range batch {
+				d := out.Data()[bi] - float32(dists[idx[b]]/r.MaxDist)
+				epochLoss += 0.5 * float64(d) * float64(d)
+				sd[bi] = d
+			}
+			r.Net.Backward(tgt)
+			scaleGrads(r.Net.Params(), 1/float32(nb))
 			nn.ClipGradNorm(r.Net.Params(), 10)
 			opt.Step(r.Net.Params())
 		}

@@ -18,6 +18,32 @@ func BenchmarkMatMulConvForward(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulKMajorConvForward is the unified conv forward product at
+// the single-frame conv2 shape — (256×108) patches against the (108×24)
+// k-major weight matrix — on the dispatched SIMD lane kernel.
+func BenchmarkMatMulKMajorConvForward(b *testing.B) {
+	a, x, dst := New(256, 108), New(108, 24), New(256, 24)
+	fillSeq(a)
+	fillSeq(x)
+	b.Logf("kernel: %s", KMajorKernel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulKMajorInto(dst, a, x)
+	}
+}
+
+// BenchmarkMatMulKMajorGemv is the single-frame dense-head gemv (1×2048 ·
+// 2048×48), the shape the assembly single-row tail exists for.
+func BenchmarkMatMulKMajorGemv(b *testing.B) {
+	a, x, dst := New(1, 2048), New(2048, 48), New(1, 48)
+	fillSeq(a)
+	fillSeq(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulKMajorInto(dst, a, x)
+	}
+}
+
 // BenchmarkMatMulTransBGradW is the weight-gradient product dW = G·colsᵀ
 // at the same layer's shape, consuming the columns untransposed.
 func BenchmarkMatMulTransBGradW(b *testing.B) {

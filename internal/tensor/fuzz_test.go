@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+
+	"repro/internal/xrand"
 )
 
 // mustPanicIff runs fn and fails the test unless fn panics exactly when
@@ -121,6 +123,52 @@ func fillSeq(t *Tensor) {
 	for i := range t.Data() {
 		t.Data()[i] = float32(i%13) * 0.25
 	}
+}
+
+// FuzzMatMulKMajorVsRef differentially fuzzes the dispatched k-major
+// kernel (assembly lanes on amd64, generic elsewhere) against a naive
+// ascending-dot reference over random shapes, including K=0, single
+// rows/columns and column counts that are not lane multiples. Any
+// divergence — wrong value OR wrong bits — fails.
+func FuzzMatMulKMajorVsRef(f *testing.F) {
+	f.Add(uint8(4), uint8(8), uint8(8), int64(1))
+	f.Add(uint8(0), uint8(0), uint8(8), int64(2))   // k = 0: output must be all zeros
+	f.Add(uint8(0), uint8(6), uint8(0), int64(3))   // single row and column
+	f.Add(uint8(4), uint8(2), uint8(12), int64(4))  // n ≡ 1 mod 4: scalar column tail
+	f.Add(uint8(2), uint8(30), uint8(6), int64(5))  // row tail below the 4-row block
+	f.Add(uint8(16), uint8(40), uint8(47), int64(6))
+	f.Fuzz(func(t *testing.T, mr, kr, nr uint8, seed int64) {
+		m := int(mr)%17 + 1
+		k := int(kr) % 33 // 0 is a legal contraction length at the slice level
+		n := int(nr)%41 + 1
+		rng := xrand.New(seed)
+		a := make([]float32, m*k)
+		bk := make([]float32, k*n)
+		rng.FillUniform(a, -3, 3)
+		rng.FillUniform(bk, -3, 3)
+		if len(a) > 0 {
+			a[rng.Intn(len(a))] = 0 // exercise any zero-skip path
+		}
+
+		got := make([]float32, m*n)
+		for i := range got {
+			got[i] = 99 // stale garbage must be fully overwritten
+		}
+		matMulKMajor(got, a, bk, m, k, n)
+
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float32
+				for l := 0; l < k; l++ {
+					s += a[i*k+l] * bk[l*n+j]
+				}
+				if got[i*n+j] != s {
+					t.Fatalf("m=%d k=%d n=%d (%s): [%d,%d] = %v, want %v",
+						m, k, n, KMajorKernel(), i, j, got[i*n+j], s)
+				}
+			}
+		}
+	})
 }
 
 // TestMatMulFanOutBitIdentical drives both fan-out paths (row split and

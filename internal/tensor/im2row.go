@@ -13,20 +13,24 @@ import "fmt"
 // ascending-k dot product, so batched convolution is bit-identical per
 // frame to the per-sample kernels.
 
-// batchGeomCheck validates an [N,C,H,W] operand against the conv geometry
-// and returns N.
+// batchGeomCheck validates an [N,C,H,W] — or single-sample [C,H,W],
+// treated as N=1 — operand against the conv geometry and returns N.
 func batchGeomCheck(x *Tensor, g ConvGeom, op string) int {
+	if x.Rank() == 3 && x.shape[0] == g.InC && x.shape[1] == g.InH && x.shape[2] == g.InW {
+		return 1
+	}
 	if x.Rank() != 4 || x.shape[1] != g.InC || x.shape[2] != g.InH || x.shape[3] != g.InW {
-		panic(fmt.Sprintf("tensor: %s input %v, want [N %d %d %d]", op, x.shape, g.InC, g.InH, g.InW))
+		panic(fmt.Sprintf("tensor: %s input %v, want [%d %d %d] or [N %d %d %d]", op, x.shape, g.InC, g.InH, g.InW, g.InC, g.InH, g.InW))
 	}
 	return x.shape[0]
 }
 
-// Im2RowInto unrolls the batched input x ([N,C,H,W]) into dst, which must
-// have shape (N·OutH·OutW) × (InC·K·K): row n·OutH·OutW + oy·OutW + ox
-// holds the receptive-field window of output position (oy,ox) of sample n.
-// Every destination element is written (padding taps as 0), so dst's
-// previous contents don't matter.
+// Im2RowInto unrolls the batched input x ([N,C,H,W], or a single [C,H,W]
+// sample treated as N=1) into dst, which must have shape
+// (N·OutH·OutW) × (InC·K·K): row n·OutH·OutW + oy·OutW + ox holds the
+// receptive-field window of output position (oy,ox) of sample n. Every
+// destination element is written (padding taps as 0), so dst's previous
+// contents don't matter.
 func Im2RowInto(dst, x *Tensor, g ConvGeom) {
 	n := batchGeomCheck(x, g, "Im2RowInto")
 	outH, outW := g.OutH(), g.OutW()
@@ -111,8 +115,9 @@ func im2rowSample(pd, xd []float32, g ConvGeom, outH, outW, l int) {
 
 // Row2ImInto scatters a patch-major gradient matrix (the gradient of an
 // Im2RowInto output, shape (N·OutH·OutW) × (InC·K·K)) back into the batched
-// input gradient dst ([N,C,H,W]), accumulating where windows overlap. It is
-// the exact adjoint of Im2RowInto, which is what backpropagation requires.
+// input gradient dst ([N,C,H,W], or a single [C,H,W] sample treated as
+// N=1), accumulating where windows overlap. It is the exact adjoint of
+// Im2RowInto, which is what backpropagation requires.
 func Row2ImInto(dst, rows *Tensor, g ConvGeom) {
 	n := batchGeomCheck(dst, g, "Row2ImInto")
 	outH, outW := g.OutH(), g.OutW()

@@ -11,10 +11,37 @@ import "fmt"
 // Every output element is therefore bit-identical to MatMul/MatMulTransB,
 // and the kernel choice remains a pure throughput decision.
 //
-// This is the batched-inference kernel: the batch-first Conv2D and Linear
-// paths produce tall-skinny products (thousands of patch rows against a
-// small k-major weight matrix) where lane-per-column SIMD beats the
-// register-blocked scalar kernel by >2× on a single core.
+// This is the unified GEMM of the perception stack: the batched AND
+// single-frame Conv2D/Linear forwards lower onto it (tall-skinny patch
+// products, and m=1 gemv shapes that the single-row assembly tail keeps on
+// SIMD), and the batched backward drives it for the input-gradient
+// products. Lane width is dispatched once at init — AVX2 8-wide where the
+// CPU supports it, SSE2 4-wide on baseline amd64, a pure-Go lane kernel
+// elsewhere or under the noasm build tag (see sgemm_amd64.go).
+
+// laneKernel is the signature of the assembly column-lane kernels:
+// c[i][0:w] = Σ_l a[i][l]·bk[l][0:w] for i in [0,m), with bk and c
+// pre-offset to the column block and a row stride of n floats.
+type laneKernel func(a, bk, c *float32, m, k, n int)
+
+// lanes8 and lanes4 are the kernels sgemmLanes dispatches to for 8- and
+// 4-column blocks. They stay nil (pure-Go fallback) off amd64 and under
+// the noasm tag; on amd64 package init assigns them once from CPU
+// features. They never change after init, so kernel choice is CPU-gated
+// only and can never vary with parallelism.
+var (
+	lanes8 laneKernel
+	lanes4 laneKernel
+)
+
+// kmajorKernelName names the selected widest lane kernel for diagnostics.
+var kmajorKernelName = "generic"
+
+// KMajorKernel reports which lane kernel MatMulKMajorInto dispatches to in
+// this process: "avx2", "sse2" or "generic" (pure Go — non-amd64 builds
+// and the noasm tag). All three compute identical bits; the name is for
+// benchmarks and bug reports.
+func KMajorKernel() string { return kmajorKernelName }
 
 // MatMulKMajorInto computes dst = A·B for A (m×k) and B (k×n) given in
 // row-major (i.e. k-major for this product) layout, reusing dst's storage.
@@ -31,43 +58,48 @@ func MatMulKMajorInto(dst, a, bK *Tensor) {
 	matMulKMajor(dst.data, a.data, bK.data, m, k, n)
 }
 
-// matMulKMajor tiles the product into 4-row × 8-column (then 4-column)
-// blocks for the SIMD kernel and finishes row/column tails with the scalar
+// matMulKMajor tiles the product into 8-column (then 4-column) blocks for
+// sgemmLanes and finishes the sub-4 column tail with the scalar
 // ascending-dot loop. All paths agree bit for bit.
 func matMulKMajor(c, a, bk []float32, m, k, n int) {
-	m4 := m - m%4
 	j := 0
-	if useSGEMM && m4 > 0 && k > 0 {
+	if m > 0 && k > 0 {
 		for ; j+8 <= n; j += 8 {
-			sgemm8cols(&a[0], &bk[j], &c[j], m4, k, n)
+			sgemmLanes(c, a, bk, m, j, 8, k, n)
 		}
 		for ; j+4 <= n; j += 4 {
-			sgemm4cols(&a[0], &bk[j], &c[j], m4, k, n)
-		}
-	} else if m4 > 0 && k > 0 {
-		for ; j+8 <= n; j += 8 {
-			kmajorColsGeneric(c, a, bk, 0, m4, j, 8, k, n)
-		}
-		for ; j+4 <= n; j += 4 {
-			kmajorColsGeneric(c, a, bk, 0, m4, j, 4, k, n)
+			sgemmLanes(c, a, bk, m, j, 4, k, n)
 		}
 	}
 	if j < n {
-		kmajorScalar(c, a, bk, 0, m4, j, n, k, n)
-	}
-	if m4 < m {
-		kmajorScalar(c, a, bk, m4, m, 0, n, k, n)
+		kmajorScalar(c, a, bk, 0, m, j, n, k, n)
 	}
 }
 
-// kmajorColsGeneric is the pure-Go mirror of the assembly kernel: rows
-// [i0,i1) in blocks of 4, a fixed block of w columns starting at j0. Each
-// accumulator sums ascending l with per-step rounding — the lane semantics
-// of the SIMD kernel, expressed scalar — so generic and assembly builds
-// produce identical bits.
+// sgemmLanes is the single dispatch point for the lane kernels: it computes
+// the w-column block starting at j0 for every row of the product, using the
+// assembly kernel selected at init when one is available and the pure-Go
+// lane kernel otherwise. w must be 4 or 8 and k > 0.
+func sgemmLanes(c, a, bk []float32, m, j0, w, k, n int) {
+	switch {
+	case w == 8 && lanes8 != nil:
+		lanes8(&a[0], &bk[j0], &c[j0], m, k, n)
+	case w == 4 && lanes4 != nil:
+		lanes4(&a[0], &bk[j0], &c[j0], m, k, n)
+	default:
+		kmajorColsGeneric(c, a, bk, 0, m, j0, w, k, n)
+	}
+}
+
+// kmajorColsGeneric is the pure-Go mirror of the assembly kernels: rows
+// [i0,i1) in blocks of 4 plus a single-row tail, a fixed block of w
+// columns starting at j0. Each accumulator sums ascending l with per-step
+// rounding — the lane semantics of the SIMD kernels, expressed scalar — so
+// generic and assembly builds produce identical bits.
 func kmajorColsGeneric(c, a, bk []float32, i0, i1, j0, w, k, n int) {
 	var acc [4 * 8]float32
-	for i := i0; i+3 < i1; i += 4 {
+	i := i0
+	for ; i+3 < i1; i += 4 {
 		for z := range acc[:4*w] {
 			acc[z] = 0
 		}
@@ -88,10 +120,23 @@ func kmajorColsGeneric(c, a, bk []float32, i0, i1, j0, w, k, n int) {
 			copy(c[(i+r)*n+j0:(i+r)*n+j0+w], acc[r*w:(r+1)*w])
 		}
 	}
+	for ; i < i1; i++ {
+		for z := range acc[:w] {
+			acc[z] = 0
+		}
+		for l := 0; l < k; l++ {
+			brow := bk[l*n+j0 : l*n+j0+w]
+			a0 := a[i*k+l]
+			for z, bv := range brow {
+				acc[z] += a0 * bv
+			}
+		}
+		copy(c[i*n+j0:i*n+j0+w], acc[:w])
+	}
 }
 
 // kmajorScalar computes rows [i0,i1) × columns [j0,j1) one ascending dot at
-// a time (the tail path; bk is read column-strided).
+// a time (the sub-lane column tail; bk is read column-strided).
 func kmajorScalar(c, a, bk []float32, i0, i1, j0, j1, k, n int) {
 	for i := i0; i < i1; i++ {
 		ai := a[i*k : i*k+k]

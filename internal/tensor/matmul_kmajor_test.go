@@ -38,7 +38,11 @@ func TestMatMulKMajorBitIdentical(t *testing.T) {
 		{3, 7, 4},    // rows below the tile height
 		{16, 1, 8},   // k=1
 		{1024, 27, 12},
-		{8, 2048, 48}, // batched linear shape
+		{8, 2048, 48},  // batched linear shape
+		{1, 2048, 48},  // single-frame linear gemv (assembly single-row tail)
+		{1, 48, 2048},  // its backward input-gradient shape
+		{2, 5, 9},      // sub-block rows with a scalar column tail
+		{1024, 108, 24}, // single-frame conv2 patch product
 	}
 	for _, s := range shapes {
 		m, k, n := s[0], s[1], s[2]
@@ -63,19 +67,15 @@ func TestMatMulKMajorBitIdentical(t *testing.T) {
 		// The generic lane kernel must agree bit for bit with whatever the
 		// driver used (on amd64, that cross-checks the assembly).
 		gen := New(m, n)
-		m4 := m - m%4
 		j := 0
 		for ; j+8 <= n; j += 8 {
-			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m4, j, 8, k, n)
+			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m, j, 8, k, n)
 		}
 		for ; j+4 <= n; j += 4 {
-			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m4, j, 4, k, n)
+			kmajorColsGeneric(gen.Data(), a.Data(), bk.Data(), 0, m, j, 4, k, n)
 		}
 		if j < n {
-			kmajorScalar(gen.Data(), a.Data(), bk.Data(), 0, m4, j, n, k, n)
-		}
-		if m4 < m {
-			kmajorScalar(gen.Data(), a.Data(), bk.Data(), m4, m, 0, n, k, n)
+			kmajorScalar(gen.Data(), a.Data(), bk.Data(), 0, m, j, n, k, n)
 		}
 		for i := range want.Data() {
 			if gen.Data()[i] != want.Data()[i] {

@@ -1,23 +1,74 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 package tensor
 
-// useSGEMM reports whether the hand-written SSE2 micro-kernels are
-// available. SSE2 is part of the amd64 baseline (GOAMD64=v1), so no runtime
-// feature detection is needed.
-const useSGEMM = true
-
-// sgemm8cols computes c[i][0:8] = Σ_l a[i][l]·bk[l][0:8] for i in [0,m),
-// m a multiple of 4. a is row-major m×k, bk is k-major with row stride n
-// floats (the pointer is pre-offset to the column block), c has row stride
-// n floats. Each lane accumulates in strictly ascending l with separate
-// MULPS/ADDPS roundings, so results are bit-identical to the scalar
-// kernels.
+// Kernel selection for the k-major SGEMM on amd64. SSE2 is part of the
+// amd64 baseline (GOAMD64=v1) so the 4-wide kernels are always available;
+// the 8-wide AVX2 kernel is enabled by a one-time CPUID probe at package
+// init (or unconditionally when the binary is compiled with GOAMD64=v3 or
+// higher, which guarantees AVX2). The choice is made exactly once and
+// depends only on the CPU, never on GOMAXPROCS or operand values, so a
+// given product always runs the same kernel — and since every kernel
+// performs the identical ascending-k per-lane accumulation, the choice is
+// a pure throughput decision anyway.
 //
+// Escape hatches: build with -tags noasm to drop all assembly (pure-Go
+// lane kernel, still bit-identical), or GOAMD64=v3 to skip the runtime
+// probe.
+
+// cpuid and xgetbv0 are implemented in cpuid_amd64.s.
+func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 reports whether the CPU supports AVX2 and the OS saves the YMM
+// state (OSXSAVE + XCR0 bits 1-2), the standard gate before executing any
+// VEX-256 instruction.
+func hasAVX2() bool {
+	if compileTimeAVX2 {
+		return true
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	if xlo, _ := xgetbv0(); xlo&6 != 6 { // XMM and YMM state enabled by the OS
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}
+
+// The lane kernels, implemented in sgemm_amd64.s. Each computes
+// c[i][0:w] = Σ_l a[i][l]·bk[l][0:w] for i in [0,m) — any m, rows in
+// blocks of 4 plus a single-row tail — with bk and c pre-offset to the
+// column block and using row stride n floats. Accumulation is strictly
+// ascending l with separate mul/add roundings per step: bit-identical to
+// the scalar kernels.
+
 //go:noescape
 func sgemm8cols(a, bk, c *float32, m, k, n int)
 
-// sgemm4cols is sgemm8cols for a 4-column block.
-//
 //go:noescape
 func sgemm4cols(a, bk, c *float32, m, k, n int)
+
+//go:noescape
+func sgemm8colsAVX2(a, bk, c *float32, m, k, n int)
+
+func init() {
+	lanes4 = sgemm4cols
+	if hasAVX2() {
+		lanes8 = sgemm8colsAVX2
+		kmajorKernelName = "avx2"
+	} else {
+		lanes8 = sgemm8cols
+		kmajorKernelName = "sse2"
+	}
+}

@@ -1,15 +1,21 @@
-//go:build amd64
+//go:build amd64 && !noasm
 
 #include "textflag.h"
 
+// SSE2 lane kernels for the k-major SGEMM. Each SIMD lane owns one output
+// element and accumulates a[i][l]·bk[l][j] in strictly ascending l with a
+// separate MULPS/ADDPS rounding per step, so results are bit-identical to
+// the scalar kernels. Rows run in blocks of 4 with a single-row tail, so
+// any m ≥ 1 is handled entirely in assembly (m = 1 is the gemv shape of
+// the single-frame Linear forward and the batched input-gradient head).
+
 // func sgemm8cols(a, bk, c *float32, m, k, n int)
 //
-// c[i][0:8] = sum over l of a[i][l] * bk[l][0:8], rows in blocks of 4
-// (m must be a multiple of 4; the Go driver peels row tails).
+// c[i][0:8] = sum over l of a[i][l] * bk[l][0:8] for i in [0,m).
 //
 // Register layout:
 //   SI  a row-block base          DX  bk base        DI  c row-block base
-//   R8  remaining rows            R9  k              R10 (scratch)
+//   R8  remaining rows            R9  k
 //   R11 a row stride (k*4 bytes)  R12 b/c row stride (n*4 bytes)
 //   AX,BX,R13,R14  the four current a row pointers
 //   R15 current bk row pointer    CX  l countdown
@@ -29,8 +35,8 @@ TEXT ·sgemm8cols(SB), NOSPLIT, $0-48
 	JZ   done8
 
 rows8:
-	TESTQ R8, R8
-	JZ   done8
+	CMPQ R8, $4
+	JL   tail8
 	XORPS X0, X0
 	XORPS X1, X1
 	XORPS X2, X2
@@ -108,6 +114,37 @@ l8:
 	SUBQ $4, R8
 	JMP  rows8
 
+tail8:
+	TESTQ R8, R8
+	JZ   done8
+	XORPS X0, X0
+	XORPS X1, X1
+	MOVQ SI, AX
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+t8l:
+	MOVUPS (R15), X8
+	MOVUPS 16(R15), X9
+	MOVSS (AX), X10
+	SHUFPS $0x00, X10, X10
+	MOVAPS X8, X11
+	MULPS X10, X11
+	ADDPS X11, X0
+	MULPS X9, X10
+	ADDPS X10, X1
+	ADDQ $4, AX
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  t8l
+
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	ADDQ R11, SI
+	ADDQ R12, DI
+	DECQ R8
+	JMP  tail8
+
 done8:
 	RET
 
@@ -128,8 +165,8 @@ TEXT ·sgemm4cols(SB), NOSPLIT, $0-48
 	JZ   done4
 
 rows4:
-	TESTQ R8, R8
-	JZ   done4
+	CMPQ R8, $4
+	JL   tail4
 	XORPS X0, X0
 	XORPS X1, X1
 	XORPS X2, X2
@@ -186,5 +223,134 @@ l4:
 	SUBQ $4, R8
 	JMP  rows4
 
+tail4:
+	TESTQ R8, R8
+	JZ   done4
+	XORPS X0, X0
+	MOVQ SI, AX
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+t4l:
+	MOVUPS (R15), X8
+	MOVSS (AX), X10
+	SHUFPS $0x00, X10, X10
+	MULPS X8, X10
+	ADDPS X10, X0
+	ADDQ $4, AX
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  t4l
+
+	MOVUPS X0, (DI)
+	ADDQ R11, SI
+	ADDQ R12, DI
+	DECQ R8
+	JMP  tail4
+
 done4:
+	RET
+
+// func sgemm8colsAVX2(a, bk, c *float32, m, k, n int)
+//
+// The AVX2 8-wide variant of sgemm8cols: one YMM accumulator per row covers
+// the whole 8-column block, halving the per-l instruction count. VMULPS and
+// VADDPS stay separate (no FMA) so every lane performs the same two float32
+// roundings per step as the SSE2 and scalar kernels — bit-identical output.
+// Only reachable after the CPUID gate in sgemm_amd64.go confirms AVX2+OS
+// support.
+TEXT ·sgemm8colsAVX2(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bk+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R12
+	SHLQ $2, R12
+	MOVQ R9, R11
+	SHLQ $2, R11
+	TESTQ R9, R9
+	JZ   vdone8
+
+vrows8:
+	CMPQ R8, $4
+	JL   vtail8
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	MOVQ SI, AX
+	LEAQ (SI)(R11*1), BX
+	LEAQ (SI)(R11*2), R13
+	LEAQ (BX)(R11*2), R14
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+vl8:
+	VMOVUPS (R15), Y8      // bk[l][0:8]
+
+	VBROADCASTSS (AX), Y10
+	VMULPS Y8, Y10, Y10
+	VADDPS Y10, Y0, Y0
+
+	VBROADCASTSS (BX), Y10
+	VMULPS Y8, Y10, Y10
+	VADDPS Y10, Y1, Y1
+
+	VBROADCASTSS (R13), Y10
+	VMULPS Y8, Y10, Y10
+	VADDPS Y10, Y2, Y2
+
+	VBROADCASTSS (R14), Y10
+	VMULPS Y8, Y10, Y10
+	VADDPS Y10, Y3, Y3
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, R13
+	ADDQ $4, R14
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  vl8
+
+	MOVQ DI, AX
+	VMOVUPS Y0, (AX)
+	ADDQ R12, AX
+	VMOVUPS Y1, (AX)
+	ADDQ R12, AX
+	VMOVUPS Y2, (AX)
+	ADDQ R12, AX
+	VMOVUPS Y3, (AX)
+
+	LEAQ (SI)(R11*4), SI
+	LEAQ (DI)(R12*4), DI
+	SUBQ $4, R8
+	JMP  vrows8
+
+vtail8:
+	TESTQ R8, R8
+	JZ   vdone8
+	VXORPS Y0, Y0, Y0
+	MOVQ SI, AX
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+vt8l:
+	VMOVUPS (R15), Y8
+	VBROADCASTSS (AX), Y10
+	VMULPS Y8, Y10, Y10
+	VADDPS Y10, Y0, Y0
+	ADDQ $4, AX
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  vt8l
+
+	VMOVUPS Y0, (DI)
+	ADDQ R11, SI
+	ADDQ R12, DI
+	DECQ R8
+	JMP  vtail8
+
+vdone8:
+	VZEROUPPER
 	RET

@@ -1,0 +1,81 @@
+//go:build amd64 && !noasm
+
+package tensor
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestSGEMMKernelsAgree cross-checks every assembly lane kernel directly
+// against the pure-Go lane kernel, independent of which one init selected:
+// the SSE2 8- and 4-column kernels, and — when the CPU supports it — the
+// AVX2 8-column kernel. This is the ladder's bit-identity proof: a machine
+// that dispatches AVX2 certifies SSE2 in the same run and vice versa.
+func TestSGEMMKernelsAgree(t *testing.T) {
+	t.Logf("dispatched kernel: %s", KMajorKernel())
+	rng := xrand.New(97)
+	shapes := [][2]int{{1, 3}, {2, 7}, {3, 16}, {4, 1}, {5, 9}, {8, 27}, {13, 64}, {1, 2048}}
+	for _, s := range shapes {
+		m, k := s[0], s[1]
+		const n = 8 // one 8-column block; the 4-column kernel uses its first half
+		a := New(m, k)
+		rng.FillUniform(a.Data(), -2, 2)
+		bk := New(k, n)
+		rng.FillUniform(bk.Data(), -2, 2)
+
+		want := New(m, n)
+		kmajorColsGeneric(want.Data(), a.Data(), bk.Data(), 0, m, 0, 8, k, n)
+
+		got := New(m, n)
+		sgemm8cols(&a.Data()[0], &bk.Data()[0], &got.Data()[0], m, k, n)
+		for i := range want.Data() {
+			if got.Data()[i] != want.Data()[i] {
+				t.Fatalf("sse2 8-col m=%d k=%d diverges at %d: %v vs %v", m, k, i, got.Data()[i], want.Data()[i])
+			}
+		}
+
+		want4 := New(m, n)
+		kmajorColsGeneric(want4.Data(), a.Data(), bk.Data(), 0, m, 0, 4, k, n)
+		got4 := New(m, n)
+		sgemm4cols(&a.Data()[0], &bk.Data()[0], &got4.Data()[0], m, k, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < 4; j++ {
+				if got4.Data()[i*n+j] != want4.Data()[i*n+j] {
+					t.Fatalf("sse2 4-col m=%d k=%d diverges at (%d,%d)", m, k, i, j)
+				}
+			}
+		}
+
+		if hasAVX2() {
+			gotV := New(m, n)
+			sgemm8colsAVX2(&a.Data()[0], &bk.Data()[0], &gotV.Data()[0], m, k, n)
+			for i := range want.Data() {
+				if gotV.Data()[i] != want.Data()[i] {
+					t.Fatalf("avx2 8-col m=%d k=%d diverges at %d: %v vs %v", m, k, i, gotV.Data()[i], want.Data()[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSGEMMKernelsZeroK pins the k=0 contract of the assembly: the kernels
+// must return without touching c (the driver never calls them with k=0,
+// but the guard in the assembly should hold on its own).
+func TestSGEMMKernelsZeroK(t *testing.T) {
+	a := New(4, 1) // backing storage; k passed as 0 below
+	c := New(4, 8)
+	c.Fill(7)
+	bk := New(1, 8)
+	sgemm8cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
+	sgemm4cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
+	if hasAVX2() {
+		sgemm8colsAVX2(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
+	}
+	for i, v := range c.Data() {
+		if v != 7 {
+			t.Fatalf("k=0 kernel wrote c[%d] = %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build amd64 && !amd64.v3 && !noasm
+
+package tensor
+
+// compileTimeAVX2 is false below GOAMD64=v3: AVX2 is probed at init via
+// CPUID instead (see hasAVX2).
+const compileTimeAVX2 = false

@@ -1,0 +1,8 @@
+//go:build amd64.v3 && !noasm
+
+package tensor
+
+// compileTimeAVX2 is true when the binary is compiled with GOAMD64=v3 or
+// higher: the v3 microarchitecture level guarantees AVX2, so the runtime
+// CPUID probe is skipped entirely.
+const compileTimeAVX2 = true
