@@ -9,27 +9,56 @@
 //   - the four defense families (image preprocessing, adversarial
 //     training, contrastive learning, diffusion/DiffPIR);
 //   - the synthetic scene generators and the closed-loop ACC pipeline;
-//   - the experiment harness reproducing the paper's Tables I–V and
-//     Figures 1–2, the scenario matrix and the sharded sweep runtime.
+//   - the v2 experiment core behind every entrypoint: registries, Specs,
+//     Observers, and the Experiment runner.
+//
+// # Experiment API v2
+//
+// Every experiment — the paper's Tables I–V and Figures 1–2, the
+// closed-loop scenario matrix, one shard of a distributed sweep — is
+// addressed by a serializable Spec and executed by one Experiment core:
+//
+//	x, err := advperception.NewExperiment(ctx,
+//	    advperception.WithPresetName("quick"),
+//	    advperception.WithLogger(log.Printf),
+//	    advperception.WithObserver(&advperception.ProgressPrinter{W: os.Stdout}))
+//	res, err := x.Run(ctx, advperception.Spec{Kind: advperception.SpecMatrix})
+//	fmt.Print(res.Text)
+//
+// Specs are JSON round-trippable (ParseSpec / Spec.JSON), validated
+// against string-keyed registries, and equal specs denote bit-identical
+// runs. New attacks, defenses and scenarios are registrations, not code
+// changes:
+//
+//	advperception.RegisterAttack(advperception.AttackDef{Name: "my-attack", Runtime: ...})
+//	advperception.RegisterScenario(advperception.Scenario{Name: "my-maneuver", ...})
+//
+// then a Spec may list "my-attack" and "my-maneuver" on its axes. Runs
+// take a context.Context — cancellation stops grid dispatch promptly, and
+// a cancelled checkpointed sweep resumes from its JSONL stream. Observer
+// sinks receive cell started/finished/progress events; MergeSweeps joins
+// the shards of a distributed sweep back into one verified grid.
+//
+// The legacy entrypoints (Env.RunTableI … RunFig2, Env.RunMatrix,
+// Env.RunSweep) remain and route through the same engine, pinned
+// bit-identical to their pre-redesign outputs by golden tests.
 //
 // The perception stack is batch-first: Regressor.PredictBatch and
 // Detector.ForwardBatch/DetectBatch run whole frame batches through one
 // blocked MatMul per layer, bit-identical frame-for-frame to the
 // per-frame calls.
-//
-// A minimal session:
-//
-//	env := advperception.NewEnv(advperception.Quick())
-//	fmt.Print(env.RunTableI().Format())
 package advperception
 
 import (
+	"context"
+
 	"repro/internal/attack"
 	"repro/internal/box"
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/detect"
 	"repro/internal/eval"
+	"repro/internal/exp"
 	"repro/internal/imaging"
 	"repro/internal/metrics"
 	"repro/internal/pipeline"
@@ -95,7 +124,101 @@ type (
 	SweepConfig = eval.SweepConfig
 	// SweepReport is one shard's slice of the grid, in global index order.
 	SweepReport = eval.SweepReport
+
+	// Experiment is the v2 core: a trained environment running
+	// serializable Specs under a context with observers.
+	Experiment = exp.Experiment
+	// Option configures NewExperiment.
+	Option = exp.Option
+	// Spec is the serializable address of one run.
+	Spec = exp.Spec
+	// MatrixSpec declares a grid by registry names.
+	MatrixSpec = exp.MatrixSpec
+	// SweepSpec declares one shard of a checkpointed sweep.
+	SweepSpec = exp.SweepSpec
+	// RunResult is the outcome of one spec run (text + typed payload).
+	RunResult = exp.Result
+	// AttackDef registers one attack (dataset and/or runtime capability).
+	AttackDef = exp.AttackDef
+	// DefenseDef registers one input-level defense.
+	DefenseDef = exp.DefenseDef
+	// Observer receives run progress events.
+	Observer = exp.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = exp.ObserverFunc
+	// Event is one progress notification from a grid run.
+	Event = exp.Event
+	// EventKind discriminates observer events.
+	EventKind = exp.EventKind
+	// ProgressPrinter is the stock CLI progress observer.
+	ProgressPrinter = exp.ProgressPrinter
+	// CellID identifies one grid point (index, seed, axis names).
+	CellID = eval.CellID
 )
+
+// Spec kinds, re-exported for spec-building callers.
+const (
+	SpecTable1    = exp.KindTable1
+	SpecTable2    = exp.KindTable2
+	SpecTable3    = exp.KindTable3
+	SpecTable4    = exp.KindTable4
+	SpecTable5    = exp.KindTable5
+	SpecFig2      = exp.KindFig2
+	SpecPipeline  = exp.KindPipeline
+	SpecAblations = exp.KindAblations
+	SpecMatrix    = exp.KindMatrix
+	SpecSweep     = exp.KindSweep
+)
+
+// Observer event kinds.
+const (
+	EventRunStart  = exp.EventRunStart
+	EventCellStart = exp.EventCellStart
+	EventCellDone  = exp.EventCellDone
+	EventLog       = exp.EventLog
+	EventRunDone   = exp.EventRunDone
+)
+
+// NewExperiment builds the v2 experiment core: it trains the victims
+// under the configured preset (or adopts one via WithEnv) and runs Specs.
+func NewExperiment(ctx context.Context, opts ...Option) (*Experiment, error) {
+	return exp.New(ctx, opts...)
+}
+
+// Experiment options (see exp.New).
+var (
+	WithPreset     = exp.WithPreset
+	WithPresetName = exp.WithPresetName
+	WithEnv        = exp.WithEnv
+	WithLogger     = exp.WithLogger
+	WithWorkers    = exp.WithWorkers
+	WithObserver   = exp.WithObserver
+)
+
+// ParseSpec decodes and validates a JSON spec.
+func ParseSpec(data []byte) (Spec, error) { return exp.ParseSpec(data) }
+
+// Registries: attacks, defenses and scenarios are registered by name and
+// addressed from Specs — an axis is a registration, not a code change.
+var (
+	RegisterAttack   = exp.RegisterAttack
+	RegisterDefense  = exp.RegisterDefense
+	RegisterScenario = exp.RegisterScenario
+	LookupAttack     = exp.LookupAttack
+	LookupDefense    = exp.LookupDefense
+	LookupScenario   = exp.LookupScenario
+	Attacks          = exp.Attacks
+	Defenses         = exp.Defenses
+	ScenarioNames    = exp.Scenarios
+)
+
+// MergeSweeps joins the JSONL shard files of a distributed sweep back
+// into the combined grid report, verifying coverage and per-cell
+// consistency against the spec's grid identity.
+func MergeSweeps(s Spec, paths []string) (MatrixReport, error) { return exp.MergeSpec(s, paths) }
+
+// MultiObserver fans events out to every non-nil observer.
+func MultiObserver(obs ...Observer) Observer { return exp.MultiObserver(obs...) }
 
 // Attack kinds, re-exported for harness callers.
 const (

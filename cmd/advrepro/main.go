@@ -3,50 +3,64 @@
 // (DSN 2025): it trains the victim models, runs the selected experiment
 // and prints the paper-shaped result table.
 //
+// Every subcommand routes through the v2 experiment core (internal/exp):
+// a run is a serializable Spec validated against the attack/defense/
+// scenario registries, executed under a cancellable context with observer
+// sinks streaming per-cell progress.
+//
 // Usage:
 //
+//	advrepro run -spec spec.json [-shard i/n] [-jsonl f] [-resume] [-progress] [-out report.txt] [-csv grid.csv] [-md grid.md]
+//	advrepro merge -spec spec.json [-out report.txt] [-csv grid.csv] shard0.jsonl shard1.jsonl ...
 //	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
 //	advrepro matrix [-preset quick|paper] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-md grid.md] [-out report.txt]
 //	advrepro sweep [-preset quick|paper] [-shard i/n] [-jsonl cells.jsonl] [-resume] [-paper-sweep] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-out report.txt]
 //
-// The matrix subcommand expands the scenario registry against the runtime
-// attack and defense axes ({none, CAP, FGSM} x {none, median blur,
-// DiffPIR}) and executes every cell in parallel with deterministic
-// per-cell seeds.
+// run executes any committed spec — a paper table, the scenario matrix,
+// or one shard of a sweep — and is the universal entrypoint; the matrix
+// and sweep subcommands are thin spec-building wrappers kept for
+// compatibility. Interrupting a checkpointed sweep (Ctrl-C) stops
+// dispatching promptly and leaves a JSONL checkpoint a -resume run
+// completes.
 //
-// The sweep subcommand runs the same grid through the sharded sweep
-// runtime: -shard i/n selects every n-th cell (cell seeds derive from the
-// global grid index, so any decomposition produces identical numbers),
-// finished cells stream to the -jsonl checkpoint as they complete, and
-// -resume replays the checkpoint to execute only missing cells after an
-// interrupt. -paper-sweep applies the paper-preset sweep configuration
-// (fixed base seed, resume on).
+// merge joins the JSONL shard files of a distributed sweep back into the
+// combined grid report, verifying full grid coverage and per-cell seed
+// consistency against the spec's grid identity — no retraining needed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/eval"
-	"repro/internal/pipeline"
+	"repro/internal/exp"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	args := os.Args[1:]
 	var err error
 	switch {
+	case len(args) > 0 && args[0] == "run":
+		err = runSpec(ctx, args[1:], os.Stdout)
+	case len(args) > 0 && args[0] == "merge":
+		err = runMerge(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "matrix":
-		err = runMatrix(args[1:], os.Stdout)
+		err = runMatrix(ctx, args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "sweep":
-		err = runSweep(args[1:], os.Stdout)
+		err = runSweep(ctx, args[1:], os.Stdout)
 	default:
-		err = run(args, os.Stdout)
+		err = run(ctx, args, os.Stdout)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -70,8 +84,169 @@ func parseShard(s string) (int, int, error) {
 	return i, n, nil
 }
 
-// runSweep drives the sharded sweep runtime over the scenario grid.
-func runSweep(args []string, stdout io.Writer) error {
+// writeOutputs writes the optional report/CSV/markdown files of a result.
+func writeOutputs(report, csvPath, mdPath, outPath string, res *exp.Result) error {
+	if csvPath != "" {
+		if res == nil || res.Matrix == nil {
+			return fmt.Errorf("-csv: this run kind has no grid")
+		}
+		if err := os.WriteFile(csvPath, []byte(res.Matrix.CSV()), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if mdPath != "" {
+		if res == nil || res.Matrix == nil {
+			return fmt.Errorf("-md: this run kind has no grid")
+		}
+		if err := os.WriteFile(mdPath, []byte(res.Matrix.Markdown()), 0o644); err != nil {
+			return fmt.Errorf("write markdown: %w", err)
+		}
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(report), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// commonOpts builds the option block the run subcommands share: the
+// stderr logger for -v and the stdout progress observer for -progress.
+func commonOpts(preset string, verbose, progress bool, stdout io.Writer) []exp.Option {
+	opts := []exp.Option{exp.WithPresetName(preset)}
+	if verbose {
+		opts = append(opts, exp.WithLogger(func(format string, a ...any) { log.Printf(format, a...) }))
+	}
+	if progress {
+		opts = append(opts, exp.WithObserver(&exp.ProgressPrinter{W: stdout}))
+	}
+	return opts
+}
+
+// runSpec is the universal subcommand: execute any spec file.
+func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro run", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "JSON spec addressing the run (required)")
+	shard := fs.String("shard", "", "override the sweep shard as i/n (sweep specs only)")
+	jsonl := fs.String("jsonl", "", "override the sweep JSONL checkpoint path")
+	resume := fs.Bool("resume", false, "force checkpoint resume on (sweep specs only)")
+	progress := fs.Bool("progress", false, "stream per-cell progress lines to stdout")
+	workers := fs.Int("workers", 0, "cap the worker pool (0 = GOMAXPROCS)")
+	csvPath := fs.String("csv", "", "optional file for the CSV grid (matrix/sweep specs)")
+	mdPath := fs.String("md", "", "optional file for the markdown grid")
+	out := fs.String("out", "", "optional file to copy the text report to")
+	verbose := fs.Bool("v", false, "log harness progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("run: -spec is required")
+	}
+	buf, err := os.ReadFile(*specPath)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	spec, err := exp.ParseSpec(buf)
+	if err != nil {
+		return err
+	}
+	if *shard != "" {
+		if spec.Kind != exp.KindSweep {
+			return fmt.Errorf("run: -shard applies to sweep specs, not %q", spec.Kind)
+		}
+		si, sn, err := parseShard(*shard)
+		if err != nil {
+			return err
+		}
+		if spec.Sweep == nil {
+			spec.Sweep = &exp.SweepSpec{}
+		}
+		spec.Sweep.Shard, spec.Sweep.NumShards = si, sn
+	}
+	if *jsonl != "" {
+		if spec.Sweep == nil {
+			spec.Sweep = &exp.SweepSpec{}
+		}
+		spec.Sweep.JSONL = *jsonl
+	}
+	if *resume {
+		if spec.Sweep == nil {
+			spec.Sweep = &exp.SweepSpec{}
+		}
+		spec.Sweep.Resume = true
+	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	opts := append(commonOpts(spec.Preset, *verbose, *progress, stdout), exp.WithWorkers(*workers))
+
+	start := time.Now()
+	fmt.Fprintf(stdout, "== advrepro run: spec=%s kind=%s preset=%s ==\n", *specPath, spec.Kind, specPreset(spec))
+	x, err := exp.New(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "victims trained in %v; running spec...\n\n", time.Since(start).Round(time.Second))
+
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil && spec.Sweep != nil && spec.Sweep.JSONL != "" {
+			fmt.Fprintf(stdout, "run cancelled; finished cells are checkpointed in %s — rerun with -resume to complete\n", spec.Sweep.JSONL)
+		}
+		return err
+	}
+	fmt.Fprintln(stdout, res.Text)
+	fmt.Fprintf(stdout, "run: kind=%s done in %v\n", spec.Kind, time.Since(start).Round(time.Second))
+	return writeOutputs(res.Text, *csvPath, *mdPath, *out, res)
+}
+
+// specPreset names the spec's preset for display.
+func specPreset(s exp.Spec) string {
+	if s.Preset == "" {
+		return "quick"
+	}
+	return s.Preset
+}
+
+// runMerge joins sweep shard JSONL files against a spec's grid identity.
+func runMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro merge", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "JSON spec describing the sharded grid (required)")
+	csvPath := fs.String("csv", "", "optional file for the merged CSV grid")
+	out := fs.String("out", "", "optional file to copy the text report to")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("merge: -spec is required")
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		return fmt.Errorf("merge: give the shard JSONL files as arguments")
+	}
+	buf, err := os.ReadFile(*specPath)
+	if err != nil {
+		return fmt.Errorf("merge: %w", err)
+	}
+	spec, err := exp.ParseSpec(buf)
+	if err != nil {
+		return err
+	}
+
+	rep, err := exp.MergeSpec(spec, paths)
+	if err != nil {
+		return err
+	}
+	report := rep.Format()
+	fmt.Fprintln(stdout, report)
+	fmt.Fprintf(stdout, "merge: %d cells assembled from %d shard files\n", len(rep.Cells), len(paths))
+	return writeOutputs(report, *csvPath, "", *out, &exp.Result{Matrix: &rep})
+}
+
+// runSweep drives the sharded sweep runtime over the scenario grid: a
+// spec-building wrapper over the experiment core.
+func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("advrepro sweep", flag.ContinueOnError)
 	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
 	shard := fs.String("shard", "", "shard spec i/n (default: the whole grid in one shard)")
@@ -81,6 +256,7 @@ func runSweep(args []string, stdout io.Writer) error {
 	scenarios := fs.String("scenarios", "", "comma-separated scenario names (default: full registry)")
 	duration := fs.Float64("duration", 0, "override scenario duration in seconds (0 = default)")
 	dt := fs.Float64("dt", 0, "override control period in seconds (0 = default)")
+	progress := fs.Bool("progress", false, "stream per-cell progress lines to stdout")
 	csvPath := fs.String("csv", "", "optional file for the CSV grid of this shard")
 	out := fs.String("out", "", "optional file to copy the text report to")
 	verbose := fs.Bool("v", false, "log harness progress to stderr")
@@ -88,76 +264,66 @@ func runSweep(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	p, err := presetByName(*preset)
-	if err != nil {
-		return err
-	}
 	si, sn, err := parseShard(*shard)
 	if err != nil {
 		return err
 	}
-
-	var cfg eval.SweepConfig
+	spec := exp.Spec{
+		Kind:   exp.KindSweep,
+		Preset: *preset,
+		Matrix: &exp.MatrixSpec{Duration: *duration, DT: *dt},
+		Sweep:  &exp.SweepSpec{Shard: si, NumShards: sn, JSONL: *jsonl, Resume: *resume},
+	}
 	if *paperSweep {
-		cfg = eval.PaperSweepConfig(si, sn, *jsonl)
+		spec.Matrix.BaseSeed = 424243
+		spec.Sweep.Resume = true
 		if *jsonl == "" {
-			cfg.JSONL = fmt.Sprintf("sweep_%s_shard%d_of_%d.jsonl", p.Name, si, sn)
+			spec.Sweep.JSONL = fmt.Sprintf("sweep_%s_shard%d_of_%d.jsonl", specPreset(spec), si, sn)
 		}
-	} else {
-		cfg = eval.SweepConfig{Shard: si, NumShards: sn, JSONL: *jsonl, Resume: *resume}
 	}
-	cfg.Matrix.Duration = *duration
-	cfg.Matrix.DT = *dt
 	if *scenarios != "" {
-		for _, name := range strings.Split(*scenarios, ",") {
-			name = strings.TrimSpace(name)
-			sc, ok := pipeline.FindScenario(name)
-			if !ok {
-				return fmt.Errorf("unknown scenario %q (registry: %s)", name, scenarioNames())
-			}
-			cfg.Matrix.Scenarios = append(cfg.Matrix.Scenarios, sc)
-		}
+		spec.Matrix.Scenarios = splitNames(*scenarios)
 	}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+
+	opts := commonOpts(*preset, *verbose, *progress, stdout)
 
 	start := time.Now()
 	fmt.Fprintf(stdout, "== advrepro sweep: preset=%s shard=%d/%d jsonl=%s resume=%v ==\n",
-		p.Name, cfg.Shard, max(cfg.NumShards, 1), cfg.JSONL, cfg.Resume)
-	env := eval.NewEnv(p)
-	if *verbose {
-		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
-	}
-	fmt.Fprintf(stdout, "victims trained in %v; running shard...\n\n", time.Since(start).Round(time.Second))
-
-	rep, err := env.RunSweep(cfg)
+		specPreset(spec), spec.Sweep.Shard, max(spec.Sweep.NumShards, 1), spec.Sweep.JSONL, spec.Sweep.Resume)
+	x, err := exp.New(ctx, opts...)
 	if err != nil {
 		return err
 	}
-	report := rep.Matrix().Format()
-	fmt.Fprintln(stdout, report)
+	fmt.Fprintf(stdout, "victims trained in %v; running shard...\n\n", time.Since(start).Round(time.Second))
+
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil && spec.Sweep.JSONL != "" {
+			fmt.Fprintf(stdout, "sweep cancelled; finished cells are checkpointed in %s — rerun with -resume to complete\n", spec.Sweep.JSONL)
+		}
+		return err
+	}
+	rep := res.Sweep
+	fmt.Fprintln(stdout, res.Text)
 	fmt.Fprintf(stdout, "sweep: shard %d/%d ran %d cells (%d resumed) of a %d-cell grid in %v\n",
 		rep.Shard, rep.NumShards, len(rep.Cells)-rep.Resumed, rep.Resumed, rep.Total, time.Since(start).Round(time.Second))
-
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(rep.Matrix().CSV()), 0o644); err != nil {
-			return fmt.Errorf("write csv: %w", err)
-		}
-	}
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-			return fmt.Errorf("write report: %w", err)
-		}
-	}
-	return nil
+	return writeOutputs(res.Text, *csvPath, "", *out, res)
 }
 
-// runMatrix drives the scenario-matrix engine: scenario x attack x defense
-// grid over the closed-loop ACC pipeline.
-func runMatrix(args []string, stdout io.Writer) error {
+// runMatrix drives the scenario-matrix engine: a spec-building wrapper
+// over the experiment core.
+func runMatrix(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("advrepro matrix", flag.ContinueOnError)
 	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
 	scenarios := fs.String("scenarios", "", "comma-separated scenario names (default: full registry)")
+	attacks := fs.String("attacks", "", "comma-separated attack axis names (default: None,CAP-Attack,FGSM)")
+	defenses := fs.String("defenses", "", "comma-separated defense axis names (default: None,Median Blurring,DiffPIR)")
 	duration := fs.Float64("duration", 0, "override scenario duration in seconds (0 = default)")
 	dt := fs.Float64("dt", 0, "override control period in seconds (0 = default)")
+	progress := fs.Bool("progress", false, "stream per-cell progress lines to stdout")
 	csvPath := fs.String("csv", "", "optional file for the CSV grid")
 	mdPath := fs.String("md", "", "optional file for the markdown grid")
 	out := fs.String("out", "", "optional file to copy the text report to")
@@ -166,88 +332,79 @@ func runMatrix(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	p, err := presetByName(*preset)
-	if err != nil {
+	spec := exp.Spec{
+		Kind:   exp.KindMatrix,
+		Preset: *preset,
+		Matrix: &exp.MatrixSpec{Duration: *duration, DT: *dt},
+	}
+	if *scenarios != "" {
+		spec.Matrix.Scenarios = splitNames(*scenarios)
+	}
+	if *attacks != "" {
+		spec.Matrix.Attacks = splitNames(*attacks)
+	}
+	if *defenses != "" {
+		spec.Matrix.Defenses = splitNames(*defenses)
+	}
+	if err := spec.Validate(); err != nil {
 		return err
 	}
 
-	cfg := eval.MatrixConfig{Duration: *duration, DT: *dt}
-	if *scenarios != "" {
-		for _, name := range strings.Split(*scenarios, ",") {
-			name = strings.TrimSpace(name)
-			sc, ok := pipeline.FindScenario(name)
-			if !ok {
-				return fmt.Errorf("unknown scenario %q (registry: %s)", name, scenarioNames())
-			}
-			cfg.Scenarios = append(cfg.Scenarios, sc)
-		}
-	}
+	opts := commonOpts(*preset, *verbose, *progress, stdout)
 
 	start := time.Now()
-	fmt.Fprintf(stdout, "== advrepro matrix: preset=%s ==\n", p.Name)
-	env := eval.NewEnv(p)
-	if *verbose {
-		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
+	fmt.Fprintf(stdout, "== advrepro matrix: preset=%s ==\n", specPreset(spec))
+	x, err := exp.New(ctx, opts...)
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(stdout, "victims trained in %v; running grid...\n\n", time.Since(start).Round(time.Second))
 
-	rep := env.RunMatrix(cfg)
-	report := rep.Format()
-	fmt.Fprintln(stdout, report)
-	fmt.Fprintf(stdout, "matrix: %d cells in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
-
-	if *csvPath != "" {
-		if err := os.WriteFile(*csvPath, []byte(rep.CSV()), 0o644); err != nil {
-			return fmt.Errorf("write csv: %w", err)
-		}
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		return err
 	}
-	if *mdPath != "" {
-		if err := os.WriteFile(*mdPath, []byte(rep.Markdown()), 0o644); err != nil {
-			return fmt.Errorf("write markdown: %w", err)
-		}
-	}
-	if *out != "" {
-		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-			return fmt.Errorf("write report: %w", err)
-		}
-	}
-	return nil
+	fmt.Fprintln(stdout, res.Text)
+	fmt.Fprintf(stdout, "matrix: %d cells in %v\n", len(res.Matrix.Cells), time.Since(start).Round(time.Second))
+	return writeOutputs(res.Text, *csvPath, *mdPath, *out, res)
 }
 
-// presetByName resolves the shared -preset flag value.
-func presetByName(name string) (eval.Preset, error) {
-	switch name {
-	case "quick":
-		return eval.Quick(), nil
-	case "paper":
-		return eval.Paper(), nil
-	default:
-		return eval.Preset{}, fmt.Errorf("unknown preset %q", name)
+// splitNames splits a comma-separated flag value, trimming whitespace.
+func splitNames(s string) []string {
+	var out []string
+	for _, name := range strings.Split(s, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			out = append(out, name)
+		}
 	}
+	return out
 }
 
-// scenarioNames lists the registry for error messages.
-func scenarioNames() string {
-	var names []string
-	for _, s := range pipeline.Scenarios() {
-		names = append(names, s.Name)
-	}
-	return strings.Join(names, ", ")
+// sectionKinds maps the legacy -exp names to spec kinds, in report order.
+var sectionKinds = []string{
+	exp.KindTable1, exp.KindFig2, exp.KindTable2, exp.KindTable3,
+	exp.KindTable4, exp.KindTable5, exp.KindPipeline, exp.KindAblations,
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("advrepro", flag.ContinueOnError)
 	preset := fs.String("preset", "quick", "experiment preset: quick or paper")
-	exp := fs.String("exp", "all", "experiment: table1..table5, fig2, pipeline, ablations, all")
+	expFlag := fs.String("exp", "all", "experiment: table1..table5, fig2, pipeline, ablations, all")
 	out := fs.String("out", "", "optional file to copy the report to")
 	verbose := fs.Bool("v", false, "log harness progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	p, err := presetByName(*preset)
-	if err != nil {
-		return err
+	want := func(name string) bool { return *expFlag == "all" || *expFlag == name }
+	known := *expFlag == "all"
+	for _, k := range sectionKinds {
+		if *expFlag == k {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (want table1..table5, fig2, pipeline, ablations or all)", *expFlag)
 	}
 
 	var sink io.Writer = stdout
@@ -261,46 +418,33 @@ func run(args []string, stdout io.Writer) error {
 		sink = io.MultiWriter(stdout, f)
 	}
 
-	start := time.Now()
-	fmt.Fprintf(sink, "== advrepro: preset=%s exp=%s ==\n", p.Name, *exp)
-	env := eval.NewEnv(p)
+	opts := []exp.Option{exp.WithPresetName(*preset)}
 	if *verbose {
-		env.Logf = func(format string, a ...any) { log.Printf(format, a...) }
+		opts = append(opts, exp.WithLogger(func(format string, a ...any) { log.Printf(format, a...) }))
 	}
+
+	start := time.Now()
+	fmt.Fprintf(sink, "== advrepro: preset=%s exp=%s ==\n", *preset, *expFlag)
+	x, err := exp.New(ctx, opts...)
+	if err != nil {
+		return err
+	}
+	env := x.Env()
 	clean := env.Det.Evaluate(env.SignTestSet, 0.5)
 	fmt.Fprintf(sink, "victims: clean detection mAP50=%.2f%% P=%.2f%% R=%.2f%%; regression RMSE=%.2f m (built in %v)\n\n",
 		100*clean.MAP50, 100*clean.Precision, 100*clean.Recall, env.Reg.RMSE(env.DriveTest), time.Since(start).Round(time.Second))
 
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	section := func(name string, body func() string) {
+	for _, kind := range sectionKinds {
+		if !want(kind) {
+			continue
+		}
 		t0 := time.Now()
-		fmt.Fprintln(sink, body())
-		fmt.Fprintf(sink, "(%s completed in %v)\n\n", name, time.Since(t0).Round(time.Second))
-	}
-
-	if want("table1") {
-		section("table1", func() string { return env.RunTableI().Format() })
-	}
-	if want("fig2") {
-		section("fig2", func() string { return env.RunFig2().Format() })
-	}
-	if want("table2") {
-		section("table2", func() string { return env.RunTableII().Format() })
-	}
-	if want("table3") {
-		section("table3", func() string { return env.RunTableIII().Format() })
-	}
-	if want("table4") {
-		section("table4", func() string { return env.RunTableIV().Format() })
-	}
-	if want("table5") {
-		section("table5", func() string { return env.RunTableV().Format() })
-	}
-	if want("pipeline") {
-		section("pipeline", func() string { return pipelineReport(env) })
-	}
-	if want("ablations") {
-		section("ablations", func() string { return ablationReport(env) })
+		res, err := x.Run(ctx, exp.Spec{Kind: kind, Preset: *preset})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(sink, res.Text)
+		fmt.Fprintf(sink, "(%s completed in %v)\n\n", kind, time.Since(t0).Round(time.Second))
 	}
 
 	fmt.Fprintf(sink, "total: %v\n", time.Since(start).Round(time.Second))
@@ -308,38 +452,4 @@ func run(args []string, stdout io.Writer) error {
 		return file.Close()
 	}
 	return nil
-}
-
-// pipelineReport runs the closed-loop ACC scenario clean, under CAP-Attack,
-// and under CAP-Attack with the median-blur defense.
-func pipelineReport(env *eval.Env) string {
-	var b strings.Builder
-	b.WriteString("CLOSED-LOOP ACC (lead brakes at t=4s for 2s)\n")
-	b.WriteString(fmt.Sprintf("%-24s %10s %10s %10s\n", "Configuration", "MinGap(m)", "MinTTC(s)", "Collision"))
-	for _, row := range eval.PipelineScenarios(env) {
-		b.WriteString(fmt.Sprintf("%-24s %10.2f %10.2f %10v\n", row.Name, row.Result.MinGap, ttcStr(row.Result.MinTTC), row.Result.Collision))
-	}
-	return b.String()
-}
-
-func ttcStr(v float64) float64 {
-	if v > 999 {
-		return 999
-	}
-	return v
-}
-
-// ablationReport exercises the four design-choice ablations.
-func ablationReport(env *eval.Env) string {
-	var b strings.Builder
-	b.WriteString("ABLATIONS\n")
-	a, p := env.APGDvsPGD()
-	b.WriteString(fmt.Sprintf("Auto-PGD vs plain PGD, near-range induced error: %.2f m vs %.2f m\n", a, p))
-	w, c := env.CAPWarmVsCold()
-	b.WriteString(fmt.Sprintf("CAP warm-start vs cold-start, mean induced error: %.2f m vs %.2f m\n", w, c))
-	eot := env.RP2EOTSweep([]int{1, 4})
-	b.WriteString(fmt.Sprintf("RP2 EOT samples {1,4} -> post-attack mAP50: %.2f%%, %.2f%%\n", 100*eot[0], 100*eot[1]))
-	steps := env.DiffPIRStepSweep([]int{4, 12})
-	b.WriteString(fmt.Sprintf("DiffPIR steps {4,12} -> restored mAP50: %.2f%%, %.2f%%\n", 100*steps[0], 100*steps[1]))
-	return b.String()
 }

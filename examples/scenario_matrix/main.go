@@ -1,13 +1,17 @@
-// Scenario matrix: train the victim stack once, then sweep every
-// registered driving scenario against the runtime attack and defense axes
-// in parallel, printing the closed-loop safety grid — the system-level
-// view the paper's Table I errors only hint at.
+// Scenario matrix, v2 API: build the Experiment core once, then address
+// the closed-loop safety grid with a serializable Spec — every registered
+// driving scenario against the runtime attack and defense axes, streamed
+// through a progress Observer. The -apgd flag widens the attack axis with
+// the registry's closed-loop Auto-PGD column: an axis is a spec entry,
+// not a code change.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	advp "repro"
@@ -15,18 +19,32 @@ import (
 
 func main() {
 	duration := flag.Float64("duration", 8, "seconds simulated per cell")
+	apgd := flag.Bool("apgd", false, "add the closed-loop Auto-PGD attack column")
 	flag.Parse()
 
+	ctx := context.Background()
 	start := time.Now()
 	fmt.Println("training victim models (quick preset)...")
-	env := advp.NewEnv(advp.Quick())
-
-	fmt.Printf("running %d scenarios x 3 attacks x 3 defenses...\n\n", len(advp.Scenarios()))
-	rep := env.RunMatrix(advp.MatrixConfig{Duration: *duration})
-	if len(rep.Cells) == 0 {
-		log.Fatal("matrix produced no cells")
+	x, err := advp.NewExperiment(ctx,
+		advp.WithPresetName("quick"),
+		advp.WithObserver(&advp.ProgressPrinter{W: os.Stdout}))
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println(rep.Format())
-	fmt.Printf("%d cells in %v\n", len(rep.Cells), time.Since(start).Round(time.Second))
+	spec := advp.Spec{
+		Kind:   advp.SpecMatrix,
+		Matrix: &advp.MatrixSpec{Duration: *duration},
+	}
+	if *apgd {
+		spec.Matrix.Attacks = []string{"None", "CAP-Attack", "FGSM", "Auto-PGD"}
+	}
+
+	fmt.Printf("running %d scenarios x attacks x defenses...\n\n", len(advp.ScenarioNames()))
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Text)
+	fmt.Printf("%d cells in %v\n", len(res.Matrix.Cells), time.Since(start).Round(time.Second))
 }

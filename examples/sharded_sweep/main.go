@@ -1,15 +1,20 @@
-// Sharded sweep: run the scenario × attack × defense grid through the
-// checkpointed sweep runtime. The grid is split into shards (every n-th
-// cell, seeds derived from the global cell index), each finished cell is
-// streamed to a JSONL checkpoint, and a second run with -resume replays
-// the checkpoint and executes only what is missing — kill the process
-// halfway and run it again to watch the recovery.
+// Sharded sweep, v2 API: run the scenario × attack × defense grid through
+// the checkpointed sweep runtime, addressed by a Spec. The grid is split
+// into shards (every n-th cell, seeds derived from the global cell index),
+// each finished cell streams to a JSONL checkpoint, and an interrupted run
+// — Ctrl-C cancels the context — resumes from the checkpoint. With
+// -merge, shard files written by previous runs (pass them as arguments)
+// are joined back into the verified full grid, the multi-machine assembly
+// step; merging needs no trained models.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"time"
 
 	advp "repro"
@@ -20,27 +25,54 @@ func main() {
 	shard := flag.Int("shard", 0, "shard index")
 	shards := flag.Int("shards", 2, "total shards")
 	jsonl := flag.String("jsonl", "sweep_cells.jsonl", "checkpoint stream")
+	merge := flag.Bool("merge", false, "merge the shard files given as arguments instead of running")
 	flag.Parse()
+
+	spec := advp.Spec{
+		Kind:   advp.SpecSweep,
+		Preset: "quick",
+		Matrix: &advp.MatrixSpec{Duration: *duration},
+		Sweep: &advp.SweepSpec{
+			Shard: *shard, NumShards: *shards,
+			JSONL: *jsonl, Resume: true,
+		},
+	}
+
+	if *merge {
+		// Grid identity comes from the spec alone: merging verifies
+		// coverage and per-cell seeds without training anything.
+		rep, err := advp.MergeSweeps(spec, flag.Args())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(rep.Format())
+		fmt.Printf("merged %d cells from %d shard files\n", len(rep.Cells), len(flag.Args()))
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	start := time.Now()
 	fmt.Println("training victim models (quick preset)...")
-	env := advp.NewEnv(advp.Quick())
-
-	cfg := advp.SweepConfig{
-		Matrix:    advp.MatrixConfig{Duration: *duration},
-		Shard:     *shard,
-		NumShards: *shards,
-		JSONL:     *jsonl,
-		Resume:    true,
-	}
-	fmt.Printf("running shard %d/%d of a %d-scenario grid (checkpoint: %s)...\n\n",
-		*shard, *shards, len(advp.Scenarios()), *jsonl)
-	rep, err := env.RunSweep(cfg)
+	x, err := advp.NewExperiment(ctx, advp.WithPresetName("quick"))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Println(rep.Matrix().Format())
+	fmt.Printf("running shard %d/%d of a %d-scenario grid (checkpoint: %s)...\n\n",
+		*shard, *shards, len(advp.ScenarioNames()), *jsonl)
+	res, err := x.Run(ctx, spec)
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Printf("interrupted; finished cells are in %s — run again to resume\n", *jsonl)
+			return
+		}
+		log.Fatal(err)
+	}
+
+	rep := res.Sweep
+	fmt.Println(res.Text)
 	fmt.Printf("shard %d/%d: %d cells run, %d resumed from checkpoint, grid total %d, in %v\n",
 		rep.Shard, rep.NumShards, len(rep.Cells)-rep.Resumed, rep.Resumed, rep.Total,
 		time.Since(start).Round(time.Second))

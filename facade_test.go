@@ -4,6 +4,8 @@ package advperception
 // user exercises, at miniature scale.
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/attack"
@@ -119,5 +121,77 @@ func TestFacadeCAP(t *testing.T) {
 func TestPresetsExposed(t *testing.T) {
 	if Quick().Name != "quick" || Paper().Name != "paper" {
 		t.Fatal("preset facade broken")
+	}
+}
+
+// TestFacadeExperimentV2 exercises the v2 surface end to end through the
+// facade: functional options, a spec run, the registries and spec JSON.
+func TestFacadeExperimentV2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a micro environment; the non-short job covers it")
+	}
+	ctx := context.Background()
+	micro := Preset{
+		Name:      "facade-micro",
+		SignTrain: 30, SignTest: 8,
+		DriveTrain: 40, DrivePerBucket: 2,
+		DetEpochs: 3, RegEpochs: 3,
+		AdvEpochs: 1, ContrastiveEpochs: 1,
+		DiffusionSteps: 8, DiffPIRSteps: 2,
+		APGDSteps: 3, SimBASteps: 10, RP2Iters: 3,
+		Seed: 11,
+	}
+	var logged bool
+	x, err := NewExperiment(ctx,
+		WithPreset(micro),
+		WithWorkers(2),
+		WithLogger(func(format string, args ...any) { logged = true }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !logged {
+		t.Fatal("WithLogger must receive training progress")
+	}
+
+	spec := Spec{
+		Kind: SpecMatrix,
+		Matrix: &MatrixSpec{
+			Scenarios: []string{"gentle-brake"},
+			Attacks:   []string{"None", "FGSM"},
+			Defenses:  []string{"None"},
+			Duration:  0.5, DT: 0.1, BaseSeed: 3,
+		},
+	}
+	buf, err := spec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSpec(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells atomic.Int32
+	y, err := NewExperiment(ctx, WithEnv(x.Env()), WithObserver(ObserverFunc(func(ev Event) {
+		if ev.Kind == EventCellDone {
+			cells.Add(1)
+		}
+	})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := y.Run(ctx, parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matrix.Cells) != 2 || cells.Load() != 2 {
+		t.Fatalf("spec run produced %d cells, observer saw %d, want 2/2", len(res.Matrix.Cells), cells.Load())
+	}
+
+	if len(Attacks()) < 7 || len(Defenses()) < 5 || len(ScenarioNames()) < 8 {
+		t.Fatalf("registries too small: %d attacks, %d defenses, %d scenarios",
+			len(Attacks()), len(Defenses()), len(ScenarioNames()))
+	}
+	if _, ok := LookupAttack("Auto-PGD"); !ok {
+		t.Fatal("Auto-PGD missing from the attack registry")
 	}
 }

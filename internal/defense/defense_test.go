@@ -261,12 +261,17 @@ func TestUNetGradientCheck(t *testing.T) {
 	analytic := append([]float32(nil), p.Grad.Data()...)
 	const eps = 1e-2
 	for _, idx := range []int{0, 7, 19} {
+		// Direct weight writes must bump the param version so any
+		// weight-derived layer cache stays coherent.
 		orig := p.Value.Data()[idx]
 		p.Value.Data()[idx] = orig + eps
+		p.MarkMutated()
 		lp := loss()
 		p.Value.Data()[idx] = orig - eps
+		p.MarkMutated()
 		lm := loss()
 		p.Value.Data()[idx] = orig
+		p.MarkMutated()
 		numeric := (lp - lm) / (2 * eps)
 		a := float64(analytic[idx])
 		denom := math.Abs(a) + math.Abs(numeric)

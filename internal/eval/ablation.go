@@ -66,7 +66,7 @@ func (e *Env) RP2EOTSweep(samples []int) []float64 {
 	for si, s := range samples {
 		imgs := make([]*imaging.Image, e.SignTestSet.Len())
 		workers := makeDetWorkers(e)
-		parallelMap(e.SignTestSet.Len(), func(w, i int) {
+		parallelMap(len(workers), e.SignTestSet.Len(), func(w, i int) {
 			sc := e.SignTestSet.Scenes[i]
 			if !sc.HasSign {
 				imgs[i] = sc.Img.Clone()
@@ -100,7 +100,7 @@ func (e *Env) DiffPIRStepSweep(steps []int) []float64 {
 }
 
 func makeDetWorkers(e *Env) []*detect.Detector {
-	ws := make([]*detect.Detector, maxWorkers(e.SignTestSet.Len()))
+	ws := make([]*detect.Detector, e.maxWorkers(e.SignTestSet.Len()))
 	for i := range ws {
 		ws[i] = e.Det.Clone()
 	}

@@ -56,14 +56,14 @@ func (e *Env) AttackSignSet(det *detect.Detector, set *dataset.SignSet, kind Kin
 		return e.attackSignSetBatched(det, set, kind)
 	}
 
-	workers := make([]*detect.Detector, maxWorkers(set.Len()))
+	workers := make([]*detect.Detector, e.maxWorkers(set.Len()))
 	for i := range workers {
 		workers[i] = det.Clone()
 	}
 	b := e.Budgets
 	p := e.Preset
 
-	parallelMap(set.Len(), func(w, i int) {
+	parallelMap(len(workers), set.Len(), func(w, i int) {
 		sc := set.Scenes[i]
 		d := workers[w]
 		obj := &attack.DetectionObjective{Det: d, GT: detect.GTBoxes(sc)}
@@ -101,11 +101,11 @@ func (e *Env) attackSignSetBatched(det *detect.Detector, set *dataset.SignSet, k
 	b := e.Budgets
 	p := e.Preset
 	blocks := (n + detect.BatchSize - 1) / detect.BatchSize
-	workers := make([]*detect.Detector, maxWorkers(blocks))
+	workers := make([]*detect.Detector, e.maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = det.Clone()
 	}
-	parallelMap(blocks, func(w, bi int) {
+	parallelMap(len(workers), blocks, func(w, bi int) {
 		lo, hi := blockRange(bi, detect.BatchSize, n)
 		imgs := make([]*imaging.Image, hi-lo)
 		gts := make([][]box.Box, hi-lo)
@@ -170,7 +170,7 @@ func (e *Env) AttackDriveSet(reg *regress.Regressor, set *dataset.DriveSet, kind
 		return out
 	}
 
-	parallelMap(set.Len(), func(_, i int) {
+	parallelMap(e.maxWorkers(set.Len()), set.Len(), func(_, i int) {
 		sc := set.Scenes[i]
 		mask := attack.BoxMask(sc.Img.C, sc.Img.H, sc.Img.W, sc.LeadBox, 1)
 		rng := xrand.New(seed + int64(i)*2003)
@@ -193,11 +193,11 @@ func (e *Env) attackDriveSetBatched(reg *regress.Regressor, set *dataset.DriveSe
 	b := e.Budgets
 	p := e.Preset
 	blocks := (n + regress.BatchSize - 1) / regress.BatchSize
-	workers := make([]*regress.Regressor, maxWorkers(blocks))
+	workers := make([]*regress.Regressor, e.maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = reg.Clone()
 	}
-	parallelMap(blocks, func(w, bi int) {
+	parallelMap(len(workers), blocks, func(w, bi int) {
 		lo, hi := blockRange(bi, regress.BatchSize, n)
 		imgs := make([]*imaging.Image, hi-lo)
 		masks := make([]*tensor.Tensor, hi-lo)

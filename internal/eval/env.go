@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -32,7 +34,14 @@ type Env struct {
 	DriveTrain   *dataset.DriveSet
 	DriveTest    *dataset.DriveSet // stratified over the paper's buckets
 
+	// Logf, when non-nil, receives every harness progress line — library
+	// code never logs anywhere else. NewEnvWith installs it before
+	// training so the victim-training epochs log through it too.
 	Logf func(format string, args ...any)
+
+	// Workers caps the worker-pool size of parallel runs; 0 means
+	// GOMAXPROCS. Experiment construction sets it via WithWorkers.
+	Workers int
 
 	diffOnce sync.Once
 	diff     *defense.Diffusion
@@ -40,14 +49,30 @@ type Env struct {
 
 // NewEnv generates datasets and trains the victim models under the preset.
 func NewEnv(p Preset) *Env {
+	e, err := NewEnvWith(context.Background(), p, nil)
+	if err != nil {
+		// Unreachable: the background context never cancels and dataset
+		// generation/training have no other failure modes.
+		panic(err)
+	}
+	return e
+}
+
+// NewEnvWith is NewEnv with a cancellation context and the progress logger
+// installed up front, so dataset generation and victim training are both
+// abortable and observable. It checks ctx between the expensive stages and
+// returns the context error if construction was cancelled.
+func NewEnvWith(ctx context.Context, p Preset, logf func(format string, args ...any)) (*Env, error) {
 	e := &Env{
 		Preset:   p,
 		Budgets:  DefaultBudgets(),
 		SignCfg:  scene.DefaultSignConfig(),
 		DriveCfg: scene.DefaultDriveConfig(),
+		Logf:     logf,
 	}
 	rng := xrand.New(p.Seed)
 
+	e.logf("env: generating datasets (preset %s)", p.Name)
 	e.SignTrainSet = dataset.GenerateSignSet(rng.Split(), e.SignCfg, p.SignTrain)
 	e.SignTestSet = dataset.GenerateSignSet(rng.Split(), e.SignCfg, p.SignTest)
 	e.DriveTrain = dataset.GenerateDriveSet(rng.Split(), e.DriveCfg, p.DriveTrain, e.DriveCfg.MinZ, e.DriveCfg.MaxZ)
@@ -55,20 +80,31 @@ func NewEnv(p Preset) *Env {
 	// The [0,20] bucket starts at the generator's minimum usable distance.
 	buckets := [][2]float64{{e.DriveCfg.MinZ, 20}, {20, 40}, {40, 60}, {60, 80}}
 	e.DriveTest = dataset.GenerateDriveSetStratified(rng.Split(), e.DriveCfg, p.DrivePerBucket, buckets)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("env: cancelled after dataset generation: %w", err)
+	}
 
 	e.Det = detect.New(rng.Split(), e.SignCfg.Size)
 	dcfg := detect.DefaultTrainConfig()
 	dcfg.Epochs = p.DetEpochs
 	dcfg.Seed = p.Seed + 1
+	dcfg.Logf = e.Logf
 	e.Det.Train(e.SignTrainSet, dcfg)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("env: cancelled after detector training: %w", err)
+	}
 
 	e.Reg = regress.New(rng.Split(), e.DriveCfg.Size)
 	rcfg := regress.DefaultTrainConfig()
 	rcfg.Epochs = p.RegEpochs
 	rcfg.Seed = p.Seed + 2
+	rcfg.Logf = e.Logf
 	e.Reg.Train(e.DriveTrain, rcfg)
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("env: cancelled after regressor training: %w", err)
+	}
 
-	return e
+	return e, nil
 }
 
 // logf logs progress when a sink is configured.
@@ -76,6 +112,19 @@ func (e *Env) logf(format string, args ...any) {
 	if e.Logf != nil {
 		e.Logf(format, args...)
 	}
+}
+
+// logObs routes one progress line to both the injected logger and, as an
+// EventLog, to the run observer — the observers own all run output.
+func (e *Env) logObs(obs Observer, format string, args ...any) {
+	if e.Logf == nil && obs == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	if e.Logf != nil {
+		e.Logf("%s", msg)
+	}
+	emit(obs, Event{Kind: EventLog, Msg: msg})
 }
 
 // Diffusion returns the trained DDPM prior, training it on first use on a
@@ -113,9 +162,13 @@ func (e *Env) DiffPIR() *defense.DiffPIRDefense {
 func (e *Env) Ranges() [][2]float64 { return metrics.PaperRanges }
 
 // maxWorkers returns the worker-pool size parallelMap will use for n
-// items; callers allocate one model clone per worker.
-func maxWorkers(n int) int {
-	w := runtime.GOMAXPROCS(0)
+// items; callers allocate one model clone per worker. The pool is capped
+// by Env.Workers when set (WithWorkers), else by GOMAXPROCS.
+func (e *Env) maxWorkers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
 	if w > n {
 		w = n
 	}
@@ -125,15 +178,32 @@ func maxWorkers(n int) int {
 	return w
 }
 
-// parallelMap runs fn(i) for i in [0,n) across maxWorkers(n) workers.
-// Workers receive a worker id so callers can hand each one a cloned model.
-func parallelMap(n int, fn func(worker, i int)) {
-	workers := maxWorkers(n)
+// parallelMap runs fn(i) for i in [0,n) across workers workers. Workers
+// receive a worker id so callers can hand each one a cloned model.
+func parallelMap(workers, n int, fn func(worker, i int)) {
+	parallelMapCtx(context.Background(), workers, n, fn)
+}
+
+// parallelMapCtx is parallelMap under a cancellation context: items are
+// dispatched until ctx is done, in-flight items run to completion, and the
+// context error (if any) is returned. Item order and worker assignment are
+// irrelevant to results — every caller derives per-item determinism from
+// the item index, never from scheduling.
+func parallelMapCtx(ctx context.Context, workers, n int, fn func(worker, i int)) error {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(0, i)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -146,9 +216,16 @@ func parallelMap(n int, fn func(worker, i int)) {
 			}
 		}(w)
 	}
+	done := ctx.Done()
+feed:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }

@@ -201,7 +201,7 @@ func TestDisplayKind(t *testing.T) {
 
 func TestParallelMapCoversAll(t *testing.T) {
 	hits := make([]int, 100)
-	parallelMap(100, func(w, i int) { hits[i]++ })
+	parallelMap(4, 100, func(w, i int) { hits[i]++ })
 	for i, h := range hits {
 		if h != 1 {
 			t.Fatalf("index %d visited %d times", i, h)

@@ -1,9 +1,11 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/attack"
 	"repro/internal/box"
@@ -40,9 +42,10 @@ type DefenseSpec struct {
 // than the Table I calibration value.
 const runtimeFGSMEps = 0.08
 
-// capRuntimeAttacker returns a stateful CAP attacker with the runtime
-// budget, attacking through its own regressor clone.
-func capRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
+// RuntimeCAP returns the stateful closed-loop CAP attacker of the default
+// matrix axis: a warm-started adversarial patch with the runtime budget,
+// attacking through its own regressor clone.
+func RuntimeCAP(e *Env, reg *regress.Regressor, seed int64) pipeline.Attacker {
 	cfg := capConfig(e.Budgets)
 	cfg.Eps = 0.12
 	c := attack.NewCAP(cfg)
@@ -52,12 +55,12 @@ func capRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
 	})
 }
 
-// fgsmRuntimeAttacker returns a per-frame FGSM attacker confined to the
+// RuntimeFGSM returns a per-frame FGSM attacker confined to the
 // lead-vehicle box, attacking through its own regressor clone. The mask and
 // output frame are closure-held buffers reused across frames: the pipeline
 // consumes each attacked frame before requesting the next, so one
 // destination suffices and the 20 Hz loop allocates nothing per frame.
-func fgsmRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
+func RuntimeFGSM(e *Env, reg *regress.Regressor, seed int64) pipeline.Attacker {
 	obj := &attack.RegressionObjective{Reg: reg.Clone()}
 	var mask *tensor.Tensor
 	var out *imaging.Image
@@ -75,39 +78,79 @@ func fgsmRuntimeAttacker(e *Env, reg *regress.Regressor) pipeline.Attacker {
 	})
 }
 
-// MatrixAttacks returns the default attack axis: clean, the stateful
-// runtime CAP-Attack, and per-frame FGSM.
-func (e *Env) MatrixAttacks() []AttackSpec {
+// RuntimeAutoPGD returns a per-frame Auto-PGD attacker confined to the
+// lead-vehicle box — the iterative escalation of the FGSM runtime threat
+// model, a few adaptive gradient steps per 20 Hz frame at the same
+// visible-but-stealthy budget. It is registered as an additional attack
+// axis (exp.RegisterAttack) rather than a default column, so the default
+// grid keeps its pre-registry cells bit-identical.
+func RuntimeAutoPGD(e *Env, reg *regress.Regressor, seed int64) pipeline.Attacker {
+	obj := &attack.RegressionObjective{Reg: reg.Clone()}
+	cfg := attack.DefaultAPGDConfig(runtimeFGSMEps)
+	// A tight per-frame step budget: the attacker shares the control
+	// period with the victim, so it gets iterations, not leisure.
+	cfg.Steps = 6
+	var mask *tensor.Tensor
+	return pipeline.AttackerFunc(func(img *imaging.Image, leadBox box.Box) *imaging.Image {
+		lb := leadBox.Clip(float64(img.W), float64(img.H))
+		if lb.Empty() || lb.W() < 1 || lb.H() < 1 {
+			return img.Clone()
+		}
+		if mask == nil || !mask.ShapeEq(img.C, img.H, img.W) {
+			mask = tensor.New(img.C, img.H, img.W)
+		}
+		attack.BoxMaskInto(mask, lb, 1)
+		return attack.AutoPGD(obj, img, cfg, mask)
+	})
+}
+
+// DefaultMatrixAttacks returns the default attack axis: clean, the
+// stateful runtime CAP-Attack, and per-frame FGSM.
+func DefaultMatrixAttacks() []AttackSpec {
 	return []AttackSpec{
 		{Name: "None"},
-		{Name: "CAP-Attack", New: func(e *Env, reg *regress.Regressor, seed int64) pipeline.Attacker {
-			return capRuntimeAttacker(e, reg)
-		}},
-		{Name: "FGSM", New: func(e *Env, reg *regress.Regressor, seed int64) pipeline.Attacker {
-			return fgsmRuntimeAttacker(e, reg)
-		}},
+		{Name: "CAP-Attack", New: RuntimeCAP},
+		{Name: "FGSM", New: RuntimeFGSM},
 	}
 }
 
-// MatrixDefenses returns the default defense axis: undefended, median
-// blurring, and diffusion restoration (DiffPIR). The DiffPIR cell clones
-// the trained prior so concurrent cells never share UNet activation
-// buffers, and seeds the restoration from the cell seed so reports are
-// reproducible regardless of cell scheduling.
-func (e *Env) MatrixDefenses() []DefenseSpec {
+// MatrixAttacks returns the default attack axis.
+//
+// Deprecated: use the package-level DefaultMatrixAttacks (the axis never
+// depended on the environment) or the exp attack registry.
+func (e *Env) MatrixAttacks() []AttackSpec { return DefaultMatrixAttacks() }
+
+// NewMedianBlurDefense builds the median-blur defense column entry.
+func NewMedianBlurDefense(e *Env, seed int64) defense.Preprocessor {
+	return defense.NewMedianBlur()
+}
+
+// NewDiffPIRDefense builds a per-cell DiffPIR defense: it clones the
+// trained prior so concurrent cells never share UNet activation buffers,
+// and seeds the restoration from the cell seed so reports are reproducible
+// regardless of cell scheduling.
+func NewDiffPIRDefense(e *Env, seed int64) defense.Preprocessor {
+	cfg := defense.DefaultDiffPIRConfig()
+	cfg.Steps = e.Preset.DiffPIRSteps
+	cfg.Seed = seed
+	return &defense.DiffPIRDefense{Model: e.Diffusion().Clone(), Cfg: cfg}
+}
+
+// DefaultMatrixDefenses returns the default defense axis: undefended,
+// median blurring, and diffusion restoration (DiffPIR).
+func DefaultMatrixDefenses() []DefenseSpec {
 	return []DefenseSpec{
 		{Name: "None"},
-		{Name: "Median Blurring", New: func(e *Env, seed int64) defense.Preprocessor {
-			return defense.NewMedianBlur()
-		}},
-		{Name: "DiffPIR", New: func(e *Env, seed int64) defense.Preprocessor {
-			cfg := defense.DefaultDiffPIRConfig()
-			cfg.Steps = e.Preset.DiffPIRSteps
-			cfg.Seed = seed
-			return &defense.DiffPIRDefense{Model: e.Diffusion().Clone(), Cfg: cfg}
-		}},
+		{Name: "Median Blurring", New: NewMedianBlurDefense},
+		{Name: "DiffPIR", New: NewDiffPIRDefense},
 	}
 }
+
+// MatrixDefenses returns the default defense axis.
+//
+// Deprecated: use the package-level DefaultMatrixDefenses or the exp
+// defense registry.
+func (e *Env) MatrixDefenses() []DefenseSpec { return DefaultMatrixDefenses() }
 
 // MatrixConfig declares a scenario × attack × defense grid. Zero-valued
 // fields select the defaults: the full scenario registry, the default
@@ -121,6 +164,10 @@ type MatrixConfig struct {
 	Duration float64 // seconds; 0 keeps each scenario's default
 	DT       float64 // control period; 0 keeps the default
 	BaseSeed int64   // cell seeds derive from this + cell index; 0 = preset seed
+
+	// Observer, when non-nil, receives run/cell progress events from
+	// RunMatrixCtx and RunSweepCtx. It never affects results.
+	Observer Observer `json:"-"`
 }
 
 // cellSeedStride spaces per-cell seed blocks so a cell's pipeline,
@@ -149,43 +196,91 @@ type MatrixReport struct {
 	Cells  []MatrixCell
 }
 
-// cellSpec is one expanded grid point together with its deterministic
-// seed, derived from the cell's global grid index so any decomposition of
-// the grid — full matrix run or sharded sweep — executes identical cells.
+// CellID identifies one grid point by its global index, deterministic seed
+// and axis names — the grid identity a checkpoint record, a shard merge or
+// a spec-addressed run validates against. It is derivable from a
+// MatrixConfig and a preset seed alone, with no trained environment.
+type CellID struct {
+	Index    int
+	Seed     int64
+	Scenario string
+	Attack   string
+	Defense  string
+}
+
+// cellSpec is one expanded grid point: its identity plus the factories
+// that execute it. Seeds derive from the cell's global grid index, so any
+// decomposition of the grid — full matrix run or sharded sweep — executes
+// identical cells.
 type cellSpec struct {
-	index    int
-	seed     int64
+	id       CellID
 	scenario pipeline.Scenario
 	attack   AttackSpec
 	defense  DefenseSpec
 }
 
-// expandGrid resolves the config's axes against the defaults and expands
-// the scenario-major × attack × defense grid with per-cell seeds.
-func (e *Env) expandGrid(cfg MatrixConfig) []cellSpec {
-	scenarios := cfg.Scenarios
+// resolveAxes fills a config's empty axes with the registry defaults.
+func resolveAxes(cfg MatrixConfig) (scenarios []pipeline.Scenario, attacks []AttackSpec, defenses []DefenseSpec) {
+	scenarios = cfg.Scenarios
 	if len(scenarios) == 0 {
 		scenarios = pipeline.Scenarios()
 	}
-	attacks := cfg.Attacks
+	attacks = cfg.Attacks
 	if len(attacks) == 0 {
-		attacks = e.MatrixAttacks()
+		attacks = DefaultMatrixAttacks()
 	}
-	defenses := cfg.Defenses
+	defenses = cfg.Defenses
 	if len(defenses) == 0 {
-		defenses = e.MatrixDefenses()
+		defenses = DefaultMatrixDefenses()
 	}
-	baseSeed := cfg.BaseSeed
-	if baseSeed == 0 {
-		baseSeed = e.Preset.Seed + 1700
+	return scenarios, attacks, defenses
+}
+
+// matrixBaseSeed resolves the grid's base seed against the preset default.
+func matrixBaseSeed(cfg MatrixConfig, presetSeed int64) int64 {
+	if cfg.BaseSeed != 0 {
+		return cfg.BaseSeed
 	}
+	return presetSeed + 1700
+}
+
+// CellIDs expands the scenario-major × attack × defense grid of cfg into
+// per-cell identities (index, seed, names) without touching any trained
+// model — the pure grid identity used by sweep-merge verification and
+// spec validation. presetSeed supplies the default base seed.
+func CellIDs(cfg MatrixConfig, presetSeed int64) []CellID {
+	scenarios, attacks, defenses := resolveAxes(cfg)
+	baseSeed := matrixBaseSeed(cfg, presetSeed)
+	ids := make([]CellID, 0, len(scenarios)*len(attacks)*len(defenses))
+	for _, sc := range scenarios {
+		for _, at := range attacks {
+			for _, df := range defenses {
+				i := len(ids)
+				ids = append(ids, CellID{
+					Index: i, Seed: baseSeed + int64(i)*cellSeedStride,
+					Scenario: sc.Name, Attack: at.Name, Defense: df.Name,
+				})
+			}
+		}
+	}
+	return ids
+}
+
+// expandGrid resolves the config's axes against the defaults and expands
+// the grid with per-cell identities and factories.
+func (e *Env) expandGrid(cfg MatrixConfig) []cellSpec {
+	scenarios, attacks, defenses := resolveAxes(cfg)
+	baseSeed := matrixBaseSeed(cfg, e.Preset.Seed)
 	specs := make([]cellSpec, 0, len(scenarios)*len(attacks)*len(defenses))
 	for _, sc := range scenarios {
 		for _, at := range attacks {
 			for _, df := range defenses {
 				i := len(specs)
 				specs = append(specs, cellSpec{
-					index: i, seed: baseSeed + int64(i)*cellSeedStride,
+					id: CellID{
+						Index: i, Seed: baseSeed + int64(i)*cellSeedStride,
+						Scenario: sc.Name, Attack: at.Name, Defense: df.Name,
+					},
 					scenario: sc, attack: at, defense: df,
 				})
 			}
@@ -205,7 +300,7 @@ func (e *Env) warmDefenses(specs []cellSpec) {
 	for _, s := range specs {
 		if s.defense.New != nil && !seen[s.defense.Name] {
 			seen[s.defense.Name] = true
-			s.defense.New(e, s.seed)
+			s.defense.New(e, s.id.Seed)
 		}
 	}
 }
@@ -214,20 +309,51 @@ func (e *Env) warmDefenses(specs []cellSpec) {
 // one cloned regressor per worker and a deterministic seed per cell, so
 // the report is bit-identical across runs and across GOMAXPROCS settings.
 func (e *Env) RunMatrix(cfg MatrixConfig) MatrixReport {
+	rep, err := e.RunMatrixCtx(context.Background(), cfg)
+	if err != nil {
+		// Unreachable: the background context never cancels, and
+		// cancellation is RunMatrixCtx's only error.
+		panic(err)
+	}
+	return rep
+}
+
+// RunMatrixCtx is RunMatrix under a cancellation context and the config's
+// Observer: cell start/finish events stream as the grid executes, a
+// cancelled context stops dispatching cells promptly (in-flight cells
+// finish) and returns the context error. On success the report is
+// bit-identical to RunMatrix — the observer and the context plumbing never
+// touch the numbers.
+func (e *Env) RunMatrixCtx(ctx context.Context, cfg MatrixConfig) (MatrixReport, error) {
 	specs := e.expandGrid(cfg)
+	obs := cfg.Observer
+	emit(obs, Event{Kind: EventRunStart, Total: len(specs)})
+	finish := func(err error) error {
+		emit(obs, Event{Kind: EventRunDone, Total: len(specs), Err: err})
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return MatrixReport{}, finish(err)
+	}
 	e.warmDefenses(specs)
 
 	rep := MatrixReport{Preset: e.Preset.Name, Cells: make([]MatrixCell, len(specs))}
-	workers := make([]*regress.Regressor, maxWorkers(len(specs)))
+	workers := make([]*regress.Regressor, e.maxWorkers(len(specs)))
 	for i := range workers {
 		workers[i] = e.Reg.Clone()
 	}
-	parallelMap(len(specs), func(w, i int) {
+	var done atomic.Int64
+	err := parallelMapCtx(ctx, len(workers), len(specs), func(w, i int) {
 		s := specs[i]
-		rep.Cells[i] = e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg, s.seed)
-		e.logf("matrix: %s / %s / %s done (%d/%d)", s.scenario.Name, s.attack.Name, s.defense.Name, i+1, len(specs))
+		emit(obs, Event{Kind: EventCellStart, Total: len(specs), Cell: s.id})
+		rep.Cells[i] = e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg, s.id.Seed)
+		emit(obs, Event{Kind: EventCellDone, Total: len(specs), Done: int(done.Add(1)), Cell: s.id, Result: &rep.Cells[i]})
+		e.logObs(obs, "matrix: %s / %s / %s done (%d/%d)", s.scenario.Name, s.attack.Name, s.defense.Name, i+1, len(specs))
 	})
-	return rep
+	if err != nil {
+		return MatrixReport{}, finish(err)
+	}
+	return rep, finish(nil)
 }
 
 // runMatrixCell executes one grid point on the given worker regressor.

@@ -27,7 +27,7 @@ func PipelineScenarios(e *Env) []PipelineRow {
 
 	// The closed-loop demo models a determined runtime attacker with a
 	// visible-but-stealthy budget rather than the Table I calibration.
-	capAttacker := func() pipeline.Attacker { return capRuntimeAttacker(e, e.Reg) }
+	capAttacker := func() pipeline.Attacker { return RuntimeCAP(e, e.Reg, 0) }
 
 	rows := make([]PipelineRow, 0, 3)
 

@@ -6,16 +6,19 @@ package eval
 // grid as one RunMatrix call — cell seeds derive from the global grid
 // index, so the decomposition never changes the numbers — and an
 // interrupted shard restarts by replaying its checkpoint and executing
-// only missing cells.
+// only missing cells. The JSONL writer is an Observer: it subscribes to
+// the same cell-finished events any other sink can.
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/regress"
 	"repro/internal/sim"
@@ -183,6 +186,42 @@ func fromSweepCell(c sweepCell) MatrixCell {
 	}
 }
 
+// jsonlWriter streams finished cells to the checkpoint file as an
+// Observer: every EventCellDone appends one validated, flushed JSONL
+// record. Observe is called from multiple workers; the mutex serialises
+// the stream and the first write error is retained for the runner.
+type jsonlWriter struct {
+	preset   string
+	duration float64
+	dt       float64
+
+	mu    sync.Mutex
+	enc   *json.Encoder
+	flush func() error
+	err   error
+}
+
+// Observe implements Observer.
+func (j *jsonlWriter) Observe(ev Event) {
+	if ev.Kind != EventCellDone || ev.Result == nil {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Stream in completion order; the report reorders by index.
+	err := j.enc.Encode(sweepRecord{
+		Index: ev.Cell.Index, Seed: ev.Cell.Seed, Preset: j.preset,
+		Duration: j.duration, DT: j.dt,
+		Cell: toSweepCell(*ev.Result),
+	})
+	if err == nil {
+		err = j.flush()
+	}
+	if err != nil && j.err == nil {
+		j.err = err
+	}
+}
+
 // RunSweep executes this shard of the grid, streaming each finished cell
 // to the JSONL checkpoint and (with Resume) skipping cells the checkpoint
 // already holds. The returned report's cells are ordered by global grid
@@ -190,6 +229,15 @@ func fromSweepCell(c sweepCell) MatrixCell {
 // interrupted-and-resumed shard produces exactly the cells of an
 // uninterrupted run.
 func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
+	return e.RunSweepCtx(context.Background(), cfg)
+}
+
+// RunSweepCtx is RunSweep under a cancellation context and the config's
+// Observer (cfg.Matrix.Observer). A cancelled context stops dispatching
+// cells promptly and returns the context error; every cell finished before
+// the cancellation is already flushed to the JSONL checkpoint, so a
+// -resume run completes exactly the missing remainder.
+func (e *Env) RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepReport, error) {
 	numShards := cfg.NumShards
 	if numShards <= 0 {
 		numShards = 1
@@ -199,6 +247,10 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 	}
 
 	specs := e.expandGrid(cfg.Matrix)
+	ids := make([]CellID, len(specs))
+	for i, s := range specs {
+		ids[i] = s.id
+	}
 	rep := SweepReport{
 		Preset: e.Preset.Name, Total: len(specs),
 		Shard: cfg.Shard, NumShards: numShards,
@@ -207,7 +259,7 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 	// This shard's cells, round-robin over the global index.
 	var mine []cellSpec
 	for _, s := range specs {
-		if s.index%numShards == cfg.Shard {
+		if s.id.Index%numShards == cfg.Shard {
 			mine = append(mine, s)
 		}
 	}
@@ -216,7 +268,7 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 	validLen := int64(0)
 	if cfg.Resume && cfg.JSONL != "" {
 		var err error
-		done, validLen, err = loadSweepCheckpoint(cfg.JSONL, specs, e.Preset.Name, cfg.Matrix)
+		done, validLen, err = loadSweepCheckpoint(cfg.JSONL, ids, e.Preset.Name, cfg.Matrix.Duration, cfg.Matrix.DT)
 		if err != nil {
 			return SweepReport{}, err
 		}
@@ -224,14 +276,23 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 
 	var todo []cellSpec
 	for _, s := range mine {
-		if _, ok := done[s.index]; !ok {
+		if _, ok := done[s.id.Index]; !ok {
 			todo = append(todo, s)
 		}
 	}
+
+	obs := cfg.Matrix.Observer
+	emit(obs, Event{Kind: EventRunStart, Total: len(specs)})
+	finish := func(err error) error {
+		emit(obs, Event{Kind: EventRunDone, Total: len(specs), Err: err})
+		return err
+	}
+	if err := ctx.Err(); err != nil {
+		return SweepReport{}, finish(err)
+	}
 	e.warmDefenses(todo)
 
-	var sink *json.Encoder
-	var flush func() error
+	var sink *jsonlWriter
 	if cfg.JSONL != "" && len(todo) > 0 {
 		if cfg.Resume {
 			// Repair a torn tail (a record cut off by the interrupt this
@@ -239,7 +300,7 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 			// line so appended records start on a fresh line.
 			if st, err := os.Stat(cfg.JSONL); err == nil && st.Size() > validLen {
 				if err := os.Truncate(cfg.JSONL, validLen); err != nil {
-					return SweepReport{}, fmt.Errorf("sweep: repair checkpoint tail: %w", err)
+					return SweepReport{}, finish(fmt.Errorf("sweep: repair checkpoint tail: %w", err))
 				}
 			}
 		}
@@ -249,71 +310,69 @@ func (e *Env) RunSweep(cfg SweepConfig) (SweepReport, error) {
 		}
 		f, err := os.OpenFile(cfg.JSONL, mode, 0o644)
 		if err != nil {
-			return SweepReport{}, fmt.Errorf("sweep: open checkpoint: %w", err)
+			return SweepReport{}, finish(fmt.Errorf("sweep: open checkpoint: %w", err))
 		}
 		defer f.Close()
 		w := bufio.NewWriter(f)
-		sink = json.NewEncoder(w)
-		flush = w.Flush
+		sink = &jsonlWriter{
+			preset: e.Preset.Name, duration: cfg.Matrix.Duration, dt: cfg.Matrix.DT,
+			enc: json.NewEncoder(w), flush: w.Flush,
+		}
+	}
+	// The checkpoint writer and the caller's observer subscribe to the
+	// same cell event stream.
+	cellObs := obs
+	if sink != nil {
+		cellObs = MultiObserver(sink, obs)
 	}
 
 	fresh := make([]MatrixCell, len(todo))
-	workers := make([]*regress.Regressor, maxWorkers(len(todo)))
+	workers := make([]*regress.Regressor, e.maxWorkers(len(todo)))
 	for i := range workers {
 		workers[i] = e.Reg.Clone()
 	}
-	var mu sync.Mutex
-	var writeErr error
-	parallelMap(len(todo), func(w, k int) {
+	var nDone atomic.Int64
+	runErr := parallelMapCtx(ctx, len(workers), len(todo), func(w, k int) {
 		s := todo[k]
-		cell := e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg.Matrix, s.seed)
+		emit(cellObs, Event{Kind: EventCellStart, Total: len(specs), Cell: s.id})
+		cell := e.runMatrixCell(workers[w], s.scenario, s.attack, s.defense, cfg.Matrix, s.id.Seed)
 		fresh[k] = cell
-		if sink != nil {
-			mu.Lock()
-			// Stream in completion order; the report reorders by index.
-			err := sink.Encode(sweepRecord{
-				Index: s.index, Seed: s.seed, Preset: e.Preset.Name,
-				Duration: cfg.Matrix.Duration, DT: cfg.Matrix.DT,
-				Cell: toSweepCell(cell),
-			})
-			if err == nil {
-				err = flush()
-			}
-			if err != nil && writeErr == nil {
-				writeErr = err
-			}
-			mu.Unlock()
-		}
-		e.logf("sweep: shard %d/%d cell %d (%s / %s / %s) done",
-			cfg.Shard, numShards, s.index, s.scenario.Name, s.attack.Name, s.defense.Name)
+		emit(cellObs, Event{Kind: EventCellDone, Total: len(specs), Done: int(nDone.Add(1)), Cell: s.id, Result: &fresh[k]})
+		e.logObs(obs, "sweep: shard %d/%d cell %d (%s / %s / %s) done",
+			cfg.Shard, numShards, s.id.Index, s.scenario.Name, s.attack.Name, s.defense.Name)
 	})
-	if writeErr != nil {
-		return SweepReport{}, fmt.Errorf("sweep: checkpoint write: %w", writeErr)
+	if sink != nil && sink.err != nil {
+		return SweepReport{}, finish(fmt.Errorf("sweep: checkpoint write: %w", sink.err))
+	}
+	if runErr != nil {
+		// Cancelled: cells finished so far are flushed to the checkpoint,
+		// so a Resume run picks up exactly the missing remainder.
+		return SweepReport{}, finish(runErr)
 	}
 
 	// Assemble the shard slice in global-index order.
 	next := 0
 	for _, s := range mine {
-		cell, ok := done[s.index]
+		cell, ok := done[s.id.Index]
 		if ok {
 			rep.Resumed++
 		} else {
 			cell = fresh[next]
 			next++
 		}
-		rep.Indices = append(rep.Indices, s.index)
+		rep.Indices = append(rep.Indices, s.id.Index)
 		rep.Cells = append(rep.Cells, cell)
 	}
-	return rep, nil
+	return rep, finish(nil)
 }
 
 // loadSweepCheckpoint replays a JSONL stream, validating every record
-// against the expanded grid. It returns the recovered cells and the byte
+// against the grid identity. It returns the recovered cells and the byte
 // length of the stream's valid prefix: a truncated trailing line (a write
 // cut off by the interrupt the resume is recovering from) is tolerated and
 // excluded from the prefix, so the caller can repair the tail before
 // appending; any other malformed or mismatching record is an error.
-func loadSweepCheckpoint(path string, specs []cellSpec, preset string, m MatrixConfig) (map[int]MatrixCell, int64, error) {
+func loadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt float64) (map[int]MatrixCell, int64, error) {
 	buf, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return map[int]MatrixCell{}, 0, nil
@@ -344,19 +403,19 @@ func loadSweepCheckpoint(path string, specs []cellSpec, preset string, m MatrixC
 				}
 				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
 			}
-			if rec.Index < 0 || rec.Index >= len(specs) {
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell index %d outside grid of %d", path, lineNo, rec.Index, len(specs))
+			if rec.Index < 0 || rec.Index >= len(ids) {
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell index %d outside grid of %d", path, lineNo, rec.Index, len(ids))
 			}
-			if rec.Preset != preset || rec.Duration != m.Duration || rec.DT != m.DT {
+			if rec.Preset != preset || rec.Duration != duration || rec.DT != dt {
 				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: written under preset=%s duration=%v dt=%v, resuming with preset=%s duration=%v dt=%v — stale checkpoint?",
-					path, lineNo, rec.Preset, rec.Duration, rec.DT, preset, m.Duration, m.DT)
+					path, lineNo, rec.Preset, rec.Duration, rec.DT, preset, duration, dt)
 			}
-			s := specs[rec.Index]
-			if rec.Seed != s.seed || rec.Cell.Scenario != s.scenario.Name ||
-				rec.Cell.Attack != s.attack.Name || rec.Cell.Defense != s.defense.Name {
+			id := ids[rec.Index]
+			if rec.Seed != id.Seed || rec.Cell.Scenario != id.Scenario ||
+				rec.Cell.Attack != id.Attack || rec.Cell.Defense != id.Defense {
 				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell %d (%s/%s/%s seed %d) does not match the configured grid (%s/%s/%s seed %d) — stale checkpoint?",
 					path, lineNo, rec.Index, rec.Cell.Scenario, rec.Cell.Attack, rec.Cell.Defense, rec.Seed,
-					s.scenario.Name, s.attack.Name, s.defense.Name, s.seed)
+					id.Scenario, id.Attack, id.Defense, id.Seed)
 			}
 			if terminated {
 				// An unterminated record — even one that parses — is not

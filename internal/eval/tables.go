@@ -33,11 +33,11 @@ func rangeErrsFrom(reg *regress.Regressor, env *Env, attacked []*imaging.Image, 
 	n := env.DriveTest.Len()
 	errs := make([]float64, n)
 	blocks := (n + regress.BatchSize - 1) / regress.BatchSize
-	workers := make([]*regress.Regressor, maxWorkers(blocks))
+	workers := make([]*regress.Regressor, env.maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = reg.Clone()
 	}
-	parallelMap(blocks, func(w, bi int) {
+	parallelMap(len(workers), blocks, func(w, bi int) {
 		r := workers[w]
 		lo, hi := blockRange(bi, regress.BatchSize, n)
 		clean := make([]*imaging.Image, hi-lo)
@@ -71,11 +71,11 @@ func detScoresFrom(det *detect.Detector, env *Env, attacked []*imaging.Image, pr
 	n := env.SignTestSet.Len()
 	evals := make([]metrics.ImageEval, n)
 	blocks := (n + detect.BatchSize - 1) / detect.BatchSize
-	workers := make([]*detect.Detector, maxWorkers(blocks))
+	workers := make([]*detect.Detector, env.maxWorkers(blocks))
 	for i := range workers {
 		workers[i] = det.Clone()
 	}
-	parallelMap(blocks, func(w, bi int) {
+	parallelMap(len(workers), blocks, func(w, bi int) {
 		d := workers[w]
 		lo, hi := blockRange(bi, detect.BatchSize, n)
 		block := make([]*imaging.Image, hi-lo)

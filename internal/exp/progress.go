@@ -1,0 +1,50 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProgressPrinter is the stock CLI observer: it renders the run's event
+// stream as one line per finished cell plus run bracketing, serialised
+// through an internal mutex so concurrent workers never interleave lines.
+// It prints only — results are never touched, so subscribing it cannot
+// change a report.
+type ProgressPrinter struct {
+	W io.Writer
+
+	mu   sync.Mutex
+	done int // cells this run actually executed (a sweep shard runs a subset)
+}
+
+// Observe implements Observer.
+func (p *ProgressPrinter) Observe(ev Event) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch ev.Kind {
+	case EventRunStart:
+		p.done = 0
+		fmt.Fprintf(p.W, "run: %d cells\n", ev.Total)
+	case EventCellDone:
+		p.done++
+		status := "ok"
+		if ev.Result != nil && ev.Result.Collision {
+			status = "COLLISION"
+		}
+		minGap := 0.0
+		if ev.Result != nil {
+			minGap = ev.Result.MinGap
+		}
+		fmt.Fprintf(p.W, "[%d/%d] cell %d  %s / %s / %s  min-gap %.2f m  %s\n",
+			ev.Done, ev.Total, ev.Cell.Index, ev.Cell.Scenario, ev.Cell.Attack, ev.Cell.Defense, minGap, status)
+	case EventRunDone:
+		if ev.Err != nil {
+			fmt.Fprintf(p.W, "run stopped after %d cells: %v\n", p.done, ev.Err)
+			return
+		}
+		// A sweep shard (or a resumed run) executes a subset of the
+		// grid, so report what actually ran here, not the grid size.
+		fmt.Fprintf(p.W, "run complete: %d of %d grid cells executed here\n", p.done, ev.Total)
+	}
+}

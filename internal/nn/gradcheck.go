@@ -73,12 +73,17 @@ func CheckParamGradients(net *Sequential, x *tensor.Tensor, loss LossFn, probesP
 			stride = 1
 		}
 		for i := 0; i < len(pd); i += stride {
+			// Each probe writes the weight directly, so the version bump
+			// keeps weight-derived caches (Linear's transpose) coherent.
 			orig := pd[i]
 			pd[i] = orig + eps
+			p.MarkMutated()
 			lp, _ := loss(net.Forward(x, false))
 			pd[i] = orig - eps
+			p.MarkMutated()
 			lm, _ := loss(net.Forward(x, false))
 			pd[i] = orig
+			p.MarkMutated()
 			numeric := (lp - lm) / (2 * eps)
 			rel := relErr(float64(analytic[pi][i]), numeric)
 			if rel > worst {

@@ -34,21 +34,37 @@ package nn
 import "repro/internal/tensor"
 
 // Param is a trainable tensor together with its gradient accumulator.
+//
+// Param carries a version counter that layers use to cache expensive
+// weight-derived scratch (Linear's transposed weight matrix) across calls:
+// every code path that mutates Value — optimizer steps, CopyParamsFrom,
+// LoadParams, finite-difference probes — must call MarkMutated afterwards,
+// or a stale cache silently corrupts later forwards.
 type Param struct {
 	Name  string
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
+
+	version uint64
 }
 
 // newParam allocates a parameter and a zeroed gradient of the same shape.
 func newParam(name string, value *tensor.Tensor) *Param {
-	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...), version: 1}
 }
 
 // clone deep-copies the parameter (gradient reset to zero).
 func (p *Param) clone() *Param {
-	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: tensor.New(p.Value.Shape()...)}
+	return &Param{Name: p.Name, Value: p.Value.Clone(), Grad: tensor.New(p.Value.Shape()...), version: 1}
 }
+
+// MarkMutated records that Value changed, invalidating any weight-derived
+// cache a layer keyed on Version.
+func (p *Param) MarkMutated() { p.version++ }
+
+// Version returns the parameter's mutation counter. It starts positive, so
+// a zero-valued cache tag never matches a live parameter.
+func (p *Param) Version() uint64 { return p.version }
 
 // Layer is one differentiable stage of a network.
 type Layer interface {
@@ -198,6 +214,7 @@ func (s *Sequential) CopyParamsFrom(src *Sequential) {
 	}
 	for i := range dst {
 		copy(dst[i].Value.Data(), from[i].Value.Data())
+		dst[i].MarkMutated()
 	}
 }
 

@@ -33,6 +33,7 @@ func NewSGD(lr, momentum float32) *SGD {
 // Step implements Optimizer.
 func (s *SGD) Step(params []*Param) {
 	for _, p := range params {
+		p.MarkMutated()
 		if s.WeightDecay != 0 {
 			p.Value.ScaleInPlace(1 - s.LR*s.WeightDecay)
 		}
@@ -80,6 +81,7 @@ func (a *Adam) Step(params []*Param) {
 	bc1 := 1 - math.Pow(float64(a.Beta1), float64(a.t))
 	bc2 := 1 - math.Pow(float64(a.Beta2), float64(a.t))
 	for _, p := range params {
+		p.MarkMutated()
 		m, ok := a.m[p]
 		if !ok {
 			m = tensor.New(p.Value.Shape()...)

@@ -44,6 +44,7 @@ func LoadParams(r io.Reader, params []*Param) error {
 			return fmt.Errorf("param %d (%s): size %d vs file %d", i, p.Name, p.Value.Len(), len(sp.Data))
 		}
 		copy(p.Value.Data(), sp.Data)
+		p.MarkMutated()
 	}
 	return nil
 }
