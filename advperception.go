@@ -47,6 +47,14 @@
 // Detector.ForwardBatch/DetectBatch run whole frame batches through one
 // blocked MatMul per layer, bit-identical frame-for-frame to the
 // per-frame calls.
+//
+// The serving layer (NewServer; `advrepro serve`) exposes the same core
+// as a long-lived daemon: POST a Spec, stream its Observer events as
+// NDJSON, and repeat submissions are answered from a content-addressed
+// result cache keyed by SpecHash — the Spec determinism guarantee makes
+// a hit provably identical to a fresh compute. A ModelStore caches
+// trained victim weights on disk so environments warm-start across
+// processes.
 package advperception
 
 import (
@@ -64,6 +72,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/regress"
 	"repro/internal/scene"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/xrand"
 )
@@ -154,6 +163,25 @@ type (
 	ProgressPrinter = exp.ProgressPrinter
 	// CellID identifies one grid point (index, seed, axis names).
 	CellID = eval.CellID
+
+	// ResultCache stores serialized result payloads by canonical spec
+	// hash (the serving layer's content-addressed cache).
+	ResultCache = exp.ResultCache
+	// MemoryCache is the stock in-process ResultCache.
+	MemoryCache = exp.MemoryCache
+	// ModelStore caches trained victim weights on disk, keyed by model
+	// kind, architecture version and preset.
+	ModelStore = eval.ModelStore
+
+	// Server is the advrepro daemon: spec-addressable evaluation over
+	// HTTP with NDJSON event streaming and single-flight deduplication.
+	Server = serve.Server
+	// ServerConfig configures NewServer.
+	ServerConfig = serve.Config
+	// WireEvent is one NDJSON line of a /run stream.
+	WireEvent = serve.WireEvent
+	// WireResult is the terminal (and cached) payload of a /run stream.
+	WireResult = serve.ResultPayload
 )
 
 // Spec kinds, re-exported for spec-building callers.
@@ -187,16 +215,38 @@ func NewExperiment(ctx context.Context, opts ...Option) (*Experiment, error) {
 
 // Experiment options (see exp.New).
 var (
-	WithPreset     = exp.WithPreset
-	WithPresetName = exp.WithPresetName
-	WithEnv        = exp.WithEnv
-	WithLogger     = exp.WithLogger
-	WithWorkers    = exp.WithWorkers
-	WithObserver   = exp.WithObserver
+	WithPreset      = exp.WithPreset
+	WithPresetName  = exp.WithPresetName
+	WithEnv         = exp.WithEnv
+	WithLogger      = exp.WithLogger
+	WithWorkers     = exp.WithWorkers
+	WithObserver    = exp.WithObserver
+	WithArtifacts   = exp.WithArtifacts
+	WithArtifactDir = exp.WithArtifactDir
 )
 
 // ParseSpec decodes and validates a JSON spec.
 func ParseSpec(data []byte) (Spec, error) { return exp.ParseSpec(data) }
+
+// CanonicalSpec returns the canonical encoding of a spec: defaults
+// resolved, execution-only fields dropped, deterministic field order.
+// Specs that address the same run canonicalize to the same bytes.
+func CanonicalSpec(s Spec) ([]byte, error) { return exp.CanonicalSpec(s) }
+
+// SpecHash returns the content address of a spec's result: the SHA-256
+// of its canonical encoding. Equal hashes denote bit-identical runs.
+func SpecHash(s Spec) (string, error) { return exp.SpecHash(s) }
+
+// NewMemoryCache returns an empty in-process result cache.
+func NewMemoryCache() *MemoryCache { return exp.NewMemoryCache() }
+
+// NewModelStore opens (creating if needed) a trained-model artifact
+// directory for WithArtifacts / ServerConfig.
+func NewModelStore(dir string) (*ModelStore, error) { return eval.NewModelStore(dir) }
+
+// NewServer builds the evaluation daemon's serving core; mount
+// Server.Handler on an http.Server to expose it.
+func NewServer(ctx context.Context, cfg ServerConfig) *Server { return serve.New(ctx, cfg) }
 
 // Registries: attacks, defenses and scenarios are registered by name and
 // addressed from Specs — an axis is a registration, not a code change.

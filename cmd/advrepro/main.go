@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	advrepro run -spec spec.json [-shard i/n] [-jsonl f] [-resume] [-progress] [-out report.txt] [-csv grid.csv] [-md grid.md]
+//	advrepro run -spec spec.json [-remote http://host:8799] [-artifacts dir] [-shard i/n] [-jsonl f] [-resume] [-progress] [-out report.txt] [-csv grid.csv] [-md grid.md]
+//	advrepro serve [-addr 127.0.0.1:8799] [-artifacts dir] [-workers n] [-warm quick,paper]
 //	advrepro merge -spec spec.json [-out report.txt] [-csv grid.csv] shard0.jsonl shard1.jsonl ...
 //	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
 //	advrepro matrix [-preset quick|paper] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-md grid.md] [-out report.txt]
@@ -19,9 +20,17 @@
 // run executes any committed spec — a paper table, the scenario matrix,
 // or one shard of a sweep — and is the universal entrypoint; the matrix
 // and sweep subcommands are thin spec-building wrappers kept for
-// compatibility. Interrupting a checkpointed sweep (Ctrl-C) stops
-// dispatching promptly and leaves a JSONL checkpoint a -resume run
-// completes.
+// compatibility. With -remote the spec is submitted to a running daemon
+// instead of trained locally; with -artifacts trained victim weights are
+// cached on disk and reloaded, skipping training on repeat runs.
+// Interrupting a checkpointed sweep (Ctrl-C) stops dispatching promptly
+// and leaves a JSONL checkpoint a -resume run completes; every
+// interrupted invocation exits non-zero with the cancellation cause.
+//
+// serve starts the long-lived evaluation daemon (see internal/serve):
+// POST /run streams a spec's run as NDJSON events and serves repeat
+// submissions from a content-addressed result cache keyed by the
+// canonical spec hash.
 //
 // merge joins the JSONL shard files of a distributed sweep back into the
 // combined grid report, verifying full grid coverage and per-cell seed
@@ -53,6 +62,8 @@ func main() {
 	switch {
 	case len(args) > 0 && args[0] == "run":
 		err = runSpec(ctx, args[1:], os.Stdout)
+	case len(args) > 0 && args[0] == "serve":
+		err = runServe(ctx, args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "merge":
 		err = runMerge(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "matrix":
@@ -127,6 +138,8 @@ func commonOpts(preset string, verbose, progress bool, stdout io.Writer) []exp.O
 func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("advrepro run", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "JSON spec addressing the run (required)")
+	remote := fs.String("remote", "", "submit the spec to a running daemon at this base URL instead of training locally")
+	artifacts := fs.String("artifacts", "", "trained-model artifact directory (skip victim training on repeat runs)")
 	shard := fs.String("shard", "", "override the sweep shard as i/n (sweep specs only)")
 	jsonl := fs.String("jsonl", "", "override the sweep JSONL checkpoint path")
 	resume := fs.Bool("resume", false, "force checkpoint resume on (sweep specs only)")
@@ -179,7 +192,14 @@ func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 
+	if *remote != "" {
+		return runRemoteSpec(ctx, *remote, spec, *progress, *csvPath, *mdPath, *out, stdout)
+	}
+
 	opts := append(commonOpts(spec.Preset, *verbose, *progress, stdout), exp.WithWorkers(*workers))
+	if *artifacts != "" {
+		opts = append(opts, exp.WithArtifactDir(*artifacts))
+	}
 
 	start := time.Now()
 	fmt.Fprintf(stdout, "== advrepro run: spec=%s kind=%s preset=%s ==\n", *specPath, spec.Kind, specPreset(spec))
@@ -190,7 +210,7 @@ func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "victims trained in %v; running spec...\n\n", time.Since(start).Round(time.Second))
 
 	res, err := x.Run(ctx, spec)
-	if err != nil {
+	if err = interruptErr(ctx, err); err != nil {
 		if ctx.Err() != nil && spec.Sweep != nil && spec.Sweep.JSONL != "" {
 			fmt.Fprintf(stdout, "run cancelled; finished cells are checkpointed in %s — rerun with -resume to complete\n", spec.Sweep.JSONL)
 		}
@@ -199,6 +219,18 @@ func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintln(stdout, res.Text)
 	fmt.Fprintf(stdout, "run: kind=%s done in %v\n", spec.Kind, time.Since(start).Round(time.Second))
 	return writeOutputs(res.Text, *csvPath, *mdPath, *out, res)
+}
+
+// interruptErr surfaces an interrupt the runner absorbed: the table
+// runners finish their in-flight section and return nil even when the
+// context was cancelled mid-run, but an interrupted invocation must
+// still exit non-zero with the cause visible. Grid runners return the
+// context error themselves; this helper covers every other path.
+func interruptErr(ctx context.Context, err error) error {
+	if err == nil && ctx.Err() != nil {
+		return fmt.Errorf("cancelled mid-run: %w", ctx.Err())
+	}
+	return err
 }
 
 // specPreset names the spec's preset for display.
@@ -300,7 +332,7 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "victims trained in %v; running shard...\n\n", time.Since(start).Round(time.Second))
 
 	res, err := x.Run(ctx, spec)
-	if err != nil {
+	if err = interruptErr(ctx, err); err != nil {
 		if ctx.Err() != nil && spec.Sweep.JSONL != "" {
 			fmt.Fprintf(stdout, "sweep cancelled; finished cells are checkpointed in %s — rerun with -resume to complete\n", spec.Sweep.JSONL)
 		}
@@ -361,7 +393,7 @@ func runMatrix(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "victims trained in %v; running grid...\n\n", time.Since(start).Round(time.Second))
 
 	res, err := x.Run(ctx, spec)
-	if err != nil {
+	if err = interruptErr(ctx, err); err != nil {
 		return err
 	}
 	fmt.Fprintln(stdout, res.Text)
@@ -440,7 +472,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		t0 := time.Now()
 		res, err := x.Run(ctx, exp.Spec{Kind: kind, Preset: *preset})
-		if err != nil {
+		if err = interruptErr(ctx, err); err != nil {
 			return err
 		}
 		fmt.Fprintln(sink, res.Text)

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInterruptErr(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := interruptErr(ctx, nil); err != nil {
+		t.Fatalf("live context produced %v", err)
+	}
+	sentinel := fmt.Errorf("runner error")
+	if err := interruptErr(ctx, sentinel); err != sentinel {
+		t.Fatalf("existing error rewritten to %v", err)
+	}
+	cancel()
+	err := interruptErr(ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled context produced %v, want context.Canceled", err)
+	}
+	if err := interruptErr(ctx, sentinel); err != sentinel {
+		t.Fatalf("cancellation must not mask the runner's own error, got %v", err)
+	}
+}
+
+// cancelOnMatch is an io.Writer that cancels a context the first time a
+// marker string flows through it — the deterministic stand-in for a
+// user pressing Ctrl-C mid-run.
+type cancelOnMatch struct {
+	mu     sync.Mutex
+	w      io.Writer
+	marker string
+	cancel context.CancelFunc
+	fired  bool
+}
+
+func (c *cancelOnMatch) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fired && strings.Contains(string(p), c.marker) {
+		c.fired = true
+		c.cancel()
+	}
+	return c.w.Write(p)
+}
+
+// TestRunSpecInterruptExitsNonZero is the SIGINT regression test: a run
+// whose context cancels mid-grid must return a context error (non-zero
+// exit through main's log.Fatal), never a silent success. The context is
+// cancelled deterministically by the first -progress cell line; with
+// -workers 1 the serial dispatch loop observes the cancellation before
+// the next cell.
+func TestRunSpecInterruptExitsNonZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains the quick preset (~1 min)")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	stdout := &cancelOnMatch{w: &buf, marker: "] cell ", cancel: cancel}
+
+	err := runSpec(ctx, []string{
+		"-spec", "../../specs/quick_matrix.json",
+		"-progress", "-workers", "1",
+	}, stdout)
+	if err == nil {
+		t.Fatalf("interrupted run returned nil; output:\n%s", buf.String())
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted run returned %v, want context.Canceled", err)
+	}
+	if !stdout.fired {
+		t.Fatal("test never observed a progress cell line")
+	}
+	// The run was cut short: the 27-cell grid must not have completed.
+	if n := strings.Count(buf.String(), "] cell "); n >= 27 {
+		t.Fatalf("run executed all %d cells despite cancellation", n)
+	}
+}

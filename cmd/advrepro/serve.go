@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// runServe starts the evaluation daemon: an HTTP server over the v2
+// experiment core that validates posted specs, streams run progress as
+// NDJSON, deduplicates concurrent identical submissions, and answers
+// repeat queries from the content-addressed result cache.
+func runServe(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("advrepro serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8799", "listen address")
+	artifacts := fs.String("artifacts", "", "trained-model artifact directory (warm environment starts)")
+	workers := fs.Int("workers", 0, "cap each runner's worker pool (0 = GOMAXPROCS)")
+	warm := fs.String("warm", "", "comma-separated presets to build before accepting traffic")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.New(ctx, serve.Config{
+		ArtifactDir: *artifacts,
+		Workers:     *workers,
+		Logf:        func(format string, a ...any) { log.Printf(format, a...) },
+	})
+	for _, preset := range splitNames(*warm) {
+		log.Printf("serve: warming %s runner", preset)
+		if err := srv.Warm(ctx, preset); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	fmt.Fprintf(stdout, "advrepro serve: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		// Graceful stop: the serving core's context is already cancelled,
+		// which aborts in-flight runs and ends their streams.
+		fmt.Fprintln(stdout, "advrepro serve: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return hs.Shutdown(shCtx)
+	}
+}
+
+// runRemoteSpec submits a spec to a running daemon and renders its
+// NDJSON stream: progress lines (with -progress), the cache verdict, and
+// the result text. The wire payload carries the same report a local run
+// prints, so -out/-csv work identically; only -md needs the local grid.
+func runRemoteSpec(ctx context.Context, remote string, spec exp.Spec, progress bool, csvPath, mdPath, outPath string, stdout io.Writer) error {
+	if mdPath != "" {
+		return fmt.Errorf("run: -md needs a local run (the wire payload carries text and CSV only)")
+	}
+	body, err := spec.JSON()
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(remote, "/") + "/run"
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("run: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 32<<20) // result payloads carry full reports
+	var payload *serve.ResultPayload
+	cacheHit := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev serve.WireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return fmt.Errorf("run: bad stream line %q: %w", line, err)
+		}
+		switch ev.Event {
+		case "error":
+			return fmt.Errorf("run: remote: %s", ev.Err)
+		case "cache":
+			cacheHit = ev.Hit
+		case "result":
+			var p serve.ResultPayload
+			if err := json.Unmarshal(line, &p); err != nil {
+				return fmt.Errorf("run: bad result payload: %w", err)
+			}
+			payload = &p
+		default:
+			if progress {
+				printWireProgress(stdout, ev)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("run: stream: %w", err)
+	}
+	if payload == nil {
+		return fmt.Errorf("run: stream ended without a result (server gone mid-run?)")
+	}
+
+	verdict := "computed"
+	if cacheHit {
+		verdict = "cache hit (zero compute)"
+	}
+	fmt.Fprintf(stdout, "remote result %s: %s\n\n", payload.Key[:12], verdict)
+	fmt.Fprintln(stdout, payload.Text)
+	if csvPath != "" {
+		if payload.CSV == "" {
+			return fmt.Errorf("-csv: this run kind has no grid")
+		}
+		if err := os.WriteFile(csvPath, []byte(payload.CSV), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+	}
+	if outPath != "" {
+		if err := os.WriteFile(outPath, []byte(payload.Text), 0o644); err != nil {
+			return fmt.Errorf("write report: %w", err)
+		}
+	}
+	return nil
+}
+
+// printWireProgress renders one streamed event in the local -progress
+// line format, so remote and local runs read alike.
+func printWireProgress(w io.Writer, ev serve.WireEvent) {
+	switch ev.Event {
+	case "run-start":
+		fmt.Fprintf(w, "run: %d cells\n", ev.Total)
+	case "cell-done":
+		if ev.Cell == nil {
+			return
+		}
+		status := "ok"
+		minGap := 0.0
+		if ev.Metrics != nil {
+			if ev.Metrics.Collision {
+				status = "COLLISION"
+			}
+			minGap = float64(ev.Metrics.MinGap)
+		}
+		fmt.Fprintf(w, "[%d/%d] cell %d  %s / %s / %s  min-gap %.2f m  %s\n",
+			ev.Done, ev.Total, ev.Cell.Index, ev.Cell.Scenario, ev.Cell.Attack, ev.Cell.Defense, minGap, status)
+	case "run-done":
+		if ev.Err != "" {
+			fmt.Fprintf(w, "run stopped: %s\n", ev.Err)
+			return
+		}
+		fmt.Fprintf(w, "run complete: %d grid cells\n", ev.Total)
+	case "log":
+		fmt.Fprintf(w, "remote: %s\n", ev.Msg)
+	}
+}

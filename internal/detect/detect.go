@@ -58,6 +58,12 @@ type Detector struct {
 // sized like regress.BatchSize to keep the batched workspaces in cache.
 const BatchSize = 8
 
+// ArchVersion identifies the TinyDet architecture for serialized weight
+// artifacts: any change to the layer stack, channel widths or output
+// layout must bump it so stored weights from the old architecture are
+// never loaded into the new one.
+const ArchVersion = 1
+
 // New builds a TinyDet for size×size RGB inputs. The backbone is three
 // stride-2 convolutions (size/8 grid) followed by a 1×1 prediction head.
 func New(rng *xrand.RNG, size int) *Detector {

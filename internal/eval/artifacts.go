@@ -1,0 +1,142 @@
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/detect"
+	"repro/internal/nn"
+	"repro/internal/regress"
+)
+
+// This file implements the trained-model artifact store: victim weights
+// cached on disk, keyed by model kind + architecture version + the full
+// preset (name, seed, dataset sizes and training schedule — everything
+// the trained weights depend on). A warm hit lets env construction skip
+// training entirely, which is the dominant cold-start cost of every run;
+// a load is bit-identical to the training it replaces because the
+// training path is deterministic and the store round-trips exact float32
+// data. Invalidation is by key: bump detect.ArchVersion /
+// regress.ArchVersion when an architecture changes, and any preset field
+// change (including the seed) re-keys automatically.
+
+// ModelStore is a directory of serialized victim-model weights. The
+// zero-value (nil) store disables caching. Writes are atomic
+// (temp file + rename), so concurrent writers of the same key are safe
+// and readers never observe a partial artifact.
+type ModelStore struct {
+	dir string
+}
+
+// NewModelStore opens (creating if needed) the artifact directory.
+func NewModelStore(dir string) (*ModelStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("eval: artifact store needs a directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: artifact store: %w", err)
+	}
+	return &ModelStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *ModelStore) Dir() string { return s.dir }
+
+// artifactKey derives the content key of one victim model: kind and
+// architecture version name the network, and the SHA-256 of the preset's
+// JSON encoding captures every training input (seed, dataset sizes,
+// epochs). The readable prefix keeps the directory browsable; the hash
+// carries the identity.
+func artifactKey(kind string, arch int, p Preset) string {
+	buf, err := json.Marshal(p)
+	if err != nil {
+		// Unreachable: Preset is a flat struct of strings and numbers.
+		panic(err)
+	}
+	sum := sha256.Sum256(buf)
+	return fmt.Sprintf("%s_v%d_%s_seed%d_%s.weights", kind, arch, p.Name, p.Seed, hex.EncodeToString(sum[:])[:16])
+}
+
+// DetectorKey names the detector artifact of a preset.
+func (s *ModelStore) DetectorKey(p Preset) string {
+	return artifactKey("det", detect.ArchVersion, p)
+}
+
+// RegressorKey names the regressor artifact of a preset.
+func (s *ModelStore) RegressorKey(p Preset) string {
+	return artifactKey("reg", regress.ArchVersion, p)
+}
+
+// load reads the artifact under key into params. A missing artifact is a
+// cold miss (false, nil); a present-but-incompatible one is an error —
+// the key scheme should have prevented it, so failing loudly beats
+// silently retraining over a corrupt store.
+func (s *ModelStore) load(key string, params []*nn.Param) (bool, error) {
+	buf, err := os.ReadFile(filepath.Join(s.dir, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	if err := nn.DecodeParams(buf, params); err != nil {
+		return false, fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// save writes params under key atomically: encode, write a temp file in
+// the same directory, rename into place. Concurrent savers of one key
+// race benignly — both write identical bytes (the key pins the training
+// inputs and training is deterministic) and rename is atomic.
+func (s *ModelStore) save(key string, params []*nn.Param) error {
+	buf, err := nn.EncodeParams(params)
+	if err != nil {
+		return fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: artifact %s: %w", key, err)
+	}
+	return nil
+}
+
+// LoadDetector restores cached detector weights for the preset into d,
+// reporting whether a warm artifact existed.
+func (s *ModelStore) LoadDetector(d *detect.Detector, p Preset) (bool, error) {
+	return s.load(s.DetectorKey(p), d.Net.Params())
+}
+
+// SaveDetector stores the trained detector weights under the preset key.
+func (s *ModelStore) SaveDetector(d *detect.Detector, p Preset) error {
+	return s.save(s.DetectorKey(p), d.Net.Params())
+}
+
+// LoadRegressor restores cached regressor weights for the preset into r,
+// reporting whether a warm artifact existed.
+func (s *ModelStore) LoadRegressor(r *regress.Regressor, p Preset) (bool, error) {
+	return s.load(s.RegressorKey(p), r.Net.Params())
+}
+
+// SaveRegressor stores the trained regressor weights under the preset key.
+func (s *ModelStore) SaveRegressor(r *regress.Regressor, p Preset) error {
+	return s.save(s.RegressorKey(p), r.Net.Params())
+}

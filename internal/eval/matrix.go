@@ -219,11 +219,15 @@ type cellSpec struct {
 	defense  DefenseSpec
 }
 
+// DefaultMatrixScenarios returns the scenario axis a config gets when it
+// lists none: the built-in pipeline registry.
+func DefaultMatrixScenarios() []pipeline.Scenario { return pipeline.Scenarios() }
+
 // resolveAxes fills a config's empty axes with the registry defaults.
 func resolveAxes(cfg MatrixConfig) (scenarios []pipeline.Scenario, attacks []AttackSpec, defenses []DefenseSpec) {
 	scenarios = cfg.Scenarios
 	if len(scenarios) == 0 {
-		scenarios = pipeline.Scenarios()
+		scenarios = DefaultMatrixScenarios()
 	}
 	attacks = cfg.Attacks
 	if len(attacks) == 0 {

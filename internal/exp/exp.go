@@ -41,6 +41,7 @@ type config struct {
 	logf      func(format string, args ...any)
 	workers   int
 	observers []Observer
+	store     *eval.ModelStore
 	err       error // first option error, surfaced by New
 }
 
@@ -97,6 +98,30 @@ func WithObserver(obs ...Observer) Option {
 	return func(c *config) { c.observers = append(c.observers, obs...) }
 }
 
+// WithArtifacts backs environment construction with a trained-model
+// artifact store: victim weights cached under the preset key are loaded
+// instead of trained (bit-identical, training is deterministic), and a
+// cold construction stores what it trains. Ignored when WithEnv adopts an
+// already-built environment.
+func WithArtifacts(store *eval.ModelStore) Option {
+	return func(c *config) { c.store = store }
+}
+
+// WithArtifactDir is WithArtifacts over a directory path, creating the
+// store (and directory) on demand; errors surface from New.
+func WithArtifactDir(dir string) Option {
+	return func(c *config) {
+		store, err := eval.NewModelStore(dir)
+		if err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return
+		}
+		c.store = store
+	}
+}
+
 // Experiment is the v2 core: a trained environment plus the registries,
 // running serializable Specs under a context with observers streaming
 // progress. Every legacy entrypoint — the table runners, the scenario
@@ -121,7 +146,7 @@ func New(ctx context.Context, opts ...Option) (*Experiment, error) {
 	env := c.env
 	if env == nil {
 		var err error
-		env, err = eval.NewEnvWith(ctx, c.preset, c.logf)
+		env, err = eval.NewEnvCached(ctx, c.preset, c.logf, c.store)
 		if err != nil {
 			return nil, err
 		}
@@ -169,6 +194,17 @@ type Result struct {
 // fine-grained table cancellation is future work). The spec's preset
 // must match the environment's (an empty spec preset matches any).
 func (x *Experiment) Run(ctx context.Context, s Spec) (*Result, error) {
+	return x.RunObserved(ctx, s, nil)
+}
+
+// RunObserved is Run with a per-run observer subscribed alongside the
+// Experiment's own: the serving layer hands each request its own event
+// sink this way. Grid kinds stream the runner's native event sequence;
+// non-grid kinds (tables, fig2, pipeline, ablations) have no cell
+// granularity, so RunObserved brackets them with a synthetic
+// run-start/run-done pair (Total 1) — every observed run therefore emits
+// a well-formed run-start … run-done sequence regardless of kind.
+func (x *Experiment) RunObserved(ctx context.Context, s Spec, obs Observer) (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
@@ -178,7 +214,51 @@ func (x *Experiment) Run(ctx context.Context, s Spec) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	runObs := MultiObserver(x.obs, obs)
 
+	if s.Kind != KindMatrix && s.Kind != KindSweep {
+		if runObs != nil {
+			runObs.Observe(Event{Kind: EventRunStart, Total: 1})
+		}
+		res, err := x.runTable(s)
+		if runObs != nil {
+			runObs.Observe(Event{Kind: EventRunDone, Total: 1, Err: err})
+		}
+		return res, err
+	}
+
+	res := &Result{Spec: s}
+	switch s.Kind {
+	case KindMatrix:
+		cfg, err := s.matrixConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Observer = MultiObserver(runObs, cfg.Observer)
+		rep, err := x.env.RunMatrixCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Matrix, res.Text = &rep, rep.Format()
+	case KindSweep:
+		cfg, err := s.sweepConfig()
+		if err != nil {
+			return nil, err
+		}
+		cfg.Matrix.Observer = MultiObserver(runObs, cfg.Matrix.Observer)
+		rep, err := x.env.RunSweepCtx(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res.Sweep = &rep
+		m := rep.Matrix()
+		res.Matrix, res.Text = &m, m.Format()
+	}
+	return res, nil
+}
+
+// runTable executes the non-grid spec kinds (validated by the caller).
+func (x *Experiment) runTable(s Spec) (*Result, error) {
 	res := &Result{Spec: s}
 	switch s.Kind {
 	case KindTable1:
@@ -204,30 +284,6 @@ func (x *Experiment) Run(ctx context.Context, s Spec) (*Result, error) {
 		res.Pipeline, res.Text = rows, formatPipeline(rows)
 	case KindAblations:
 		res.Text = formatAblations(x.env)
-	case KindMatrix:
-		cfg, err := s.matrixConfig()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Observer = MultiObserver(x.obs, cfg.Observer)
-		rep, err := x.env.RunMatrixCtx(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Matrix, res.Text = &rep, rep.Format()
-	case KindSweep:
-		cfg, err := s.sweepConfig()
-		if err != nil {
-			return nil, err
-		}
-		cfg.Matrix.Observer = MultiObserver(x.obs, cfg.Matrix.Observer)
-		rep, err := x.env.RunSweepCtx(ctx, cfg)
-		if err != nil {
-			return nil, err
-		}
-		res.Sweep = &rep
-		m := rep.Matrix()
-		res.Matrix, res.Text = &m, m.Format()
 	default:
 		return nil, fmt.Errorf("exp: unhandled spec kind %q", s.Kind)
 	}

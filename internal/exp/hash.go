@@ -1,0 +1,142 @@
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/eval"
+)
+
+// This file defines the canonical spec encoding and its content hash: the
+// cache key of the serving layer. Two specs that address the same run —
+// regardless of JSON field order, whitespace, omitted-vs-explicit
+// defaults, or version shorthand — canonicalize to the same bytes and
+// therefore the same SHA-256; any semantic difference (one axis value, a
+// seed, a shard) changes the hash. Combined with the Spec determinism
+// guarantee (equal specs denote bit-identical results), a cache hit on
+// the canonical hash is provably the same answer.
+
+// canonicalSpec is the normal form hashed by SpecHash. Every field is
+// explicit (no omitempty on resolved fields), so a default written out by
+// hand and a default left implicit encode identically. encoding/json
+// marshals struct fields in declaration order, which makes the encoding
+// deterministic.
+type canonicalSpec struct {
+	Version int              `json:"version"`
+	Kind    string           `json:"kind"`
+	Preset  string           `json:"preset"`
+	Matrix  *canonicalMatrix `json:"matrix,omitempty"`
+	Shard   *canonicalShard  `json:"shard,omitempty"`
+}
+
+// canonicalMatrix is the grid section with its axes and seed resolved:
+// empty axes are replaced by the default axis names and a zero base seed
+// by the preset-derived default, so "the default grid, spelled out"
+// hashes equal to "the default grid, implied". Axis order is preserved —
+// cell seeds derive from grid position, so reordering an axis is a
+// semantically different run and must hash differently.
+type canonicalMatrix struct {
+	Scenarios []string `json:"scenarios"`
+	Attacks   []string `json:"attacks"`
+	Defenses  []string `json:"defenses"`
+	Duration  float64  `json:"duration"`
+	DT        float64  `json:"dt"`
+	BaseSeed  int64    `json:"base_seed"`
+}
+
+// canonicalShard is the sweep section reduced to what selects cells.
+// JSONL path and resume flag are execution details — they never change
+// the cells a shard computes — so they are excluded from the hash.
+type canonicalShard struct {
+	Shard     int `json:"shard"`
+	NumShards int `json:"num_shards"`
+}
+
+// CanonicalSpec returns the canonical JSON encoding of a valid spec: the
+// semantic content with every syntactic degree of freedom removed. Specs
+// that denote the same run encode to the same bytes.
+func CanonicalSpec(s Spec) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p, err := PresetByName(s.Preset)
+	if err != nil {
+		return nil, err
+	}
+	c := canonicalSpec{
+		Version: SpecVersion,
+		Kind:    s.Kind,
+		Preset:  p.Name,
+	}
+	if s.Kind == KindMatrix || s.Kind == KindSweep {
+		c.Matrix = canonicalizeMatrix(s.Matrix, p)
+	}
+	if s.Kind == KindSweep {
+		sh := canonicalShard{NumShards: 1}
+		if s.Sweep != nil {
+			sh.Shard = s.Sweep.Shard
+			if s.Sweep.NumShards > 0 {
+				sh.NumShards = s.Sweep.NumShards
+			}
+		}
+		c.Shard = &sh
+	}
+	buf, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("exp: canonicalize spec: %w", err)
+	}
+	return buf, nil
+}
+
+// canonicalizeMatrix resolves a (possibly nil) matrix section against the
+// registry defaults and the preset seed.
+func canonicalizeMatrix(m *MatrixSpec, p eval.Preset) *canonicalMatrix {
+	c := &canonicalMatrix{}
+	if m != nil {
+		c.Scenarios = append([]string(nil), m.Scenarios...)
+		c.Attacks = append([]string(nil), m.Attacks...)
+		c.Defenses = append([]string(nil), m.Defenses...)
+		c.Duration, c.DT, c.BaseSeed = m.Duration, m.DT, m.BaseSeed
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = defaultScenarioNames()
+	}
+	if len(c.Attacks) == 0 {
+		c.Attacks = DefaultMatrixAttacks()
+	}
+	if len(c.Defenses) == 0 {
+		c.Defenses = DefaultMatrixDefenses()
+	}
+	if c.BaseSeed == 0 {
+		// Mirror eval.matrixBaseSeed: the implicit base seed is derived
+		// from the preset, so it resolves to a concrete value here.
+		c.BaseSeed = p.Seed + 1700
+	}
+	return c
+}
+
+// defaultScenarioNames names the scenario axis an empty spec selects: the
+// built-in pipeline registry, exactly as eval's axis resolution does.
+func defaultScenarioNames() []string {
+	scs := eval.DefaultMatrixScenarios()
+	names := make([]string, len(scs))
+	for i, sc := range scs {
+		names[i] = sc.Name
+	}
+	return names
+}
+
+// SpecHash returns the content address of a valid spec: the hex SHA-256
+// of its canonical encoding. Equal hashes imply the same run and — by the
+// Spec determinism guarantee — bit-identical results, which is what makes
+// a result cache keyed by this hash provably correct.
+func SpecHash(s Spec) (string, error) {
+	buf, err := CanonicalSpec(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
+}

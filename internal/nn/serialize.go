@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -47,6 +48,22 @@ func LoadParams(r io.Reader, params []*Param) error {
 		p.MarkMutated()
 	}
 	return nil
+}
+
+// EncodeParams serializes parameter values to a byte slice (SaveParams
+// into memory) — the unit the model artifact store reads and writes.
+func EncodeParams(params []*Param) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, params); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeParams loads parameter values from a byte slice written by
+// EncodeParams (or SaveParams). Count and shapes must match exactly.
+func DecodeParams(data []byte, params []*Param) error {
+	return LoadParams(bytes.NewReader(data), params)
 }
 
 // SaveParamsFile saves parameters to a file path.

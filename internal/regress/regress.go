@@ -35,6 +35,12 @@ type Regressor struct {
 // busy, small enough that the batched workspaces stay cache-resident.
 const BatchSize = 8
 
+// ArchVersion identifies the DistNet architecture for serialized weight
+// artifacts: any change to the layer stack or widths must bump it so
+// stored weights from the old architecture are never loaded into the new
+// one.
+const ArchVersion = 1
+
 // New builds a DistNet for size×size RGB inputs.
 func New(rng *xrand.RNG, size int) *Regressor {
 	if size%8 != 0 {

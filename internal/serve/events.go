@@ -1,0 +1,178 @@
+// Package serve implements `advrepro serve`: a long-lived HTTP daemon
+// over the v2 experiment core. Clients POST a serializable exp.Spec to
+// /run; the server validates it against the registries, executes it
+// under a per-request context, and streams Observer events back as
+// newline-delimited JSON, terminated by a cache marker and the result
+// payload. Results are served from a content-addressed cache keyed by
+// the canonical spec hash (exp.SpecHash) — equal specs denote
+// bit-identical runs, so a cache hit returns exactly the bytes a fresh
+// compute would produce, with zero compute. Concurrent submissions of
+// the same spec are deduplicated single-flight: one computation runs,
+// every subscriber streams its events, and the run's context is
+// cancelled only when the last subscriber disconnects (an abandoned run
+// is never cached, so a disconnect cannot poison the cache).
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+)
+
+// WireFloat is a float64 whose JSON round-trips IEEE infinities (MinTTC
+// is +Inf whenever the gap never closes, which encoding/json rejects).
+type WireFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f WireFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *WireFloat) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+Inf"`:
+		*f = WireFloat(math.Inf(1))
+		return nil
+	case `"-Inf"`:
+		*f = WireFloat(math.Inf(-1))
+		return nil
+	case `"NaN"`:
+		*f = WireFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = WireFloat(v)
+	return nil
+}
+
+// WireCell identifies one grid cell on the wire.
+type WireCell struct {
+	Index    int    `json:"index"`
+	Seed     int64  `json:"seed"`
+	Scenario string `json:"scenario"`
+	Attack   string `json:"attack"`
+	Defense  string `json:"defense"`
+}
+
+// WireMetrics carries the safety metrics of a finished cell.
+type WireMetrics struct {
+	MinGap     WireFloat `json:"min_gap_m"`
+	MinTTC     WireFloat `json:"min_ttc_s"`
+	MeanGapErr WireFloat `json:"mean_gap_err_m"`
+	Collision  bool      `json:"collision"`
+	Steps      int       `json:"steps"`
+}
+
+// WireEvent is one JSONL line of the /run stream. Event discriminates:
+// the Observer kinds ("run-start", "cell-start", "cell-done", "log",
+// "run-done") stream while the run executes; "cache" marks the terminal
+// section with the result's content address and whether it was served
+// from the cache; "error" reports a failed run. The line following
+// "cache" is the ResultPayload.
+type WireEvent struct {
+	Event string `json:"event"`
+
+	Total   int          `json:"total,omitempty"`
+	Done    int          `json:"done,omitempty"`
+	Cell    *WireCell    `json:"cell,omitempty"`
+	Metrics *WireMetrics `json:"metrics,omitempty"`
+	Msg     string       `json:"msg,omitempty"`
+	Err     string       `json:"err,omitempty"`
+
+	Key string `json:"key,omitempty"` // "cache": canonical spec hash
+	Hit bool   `json:"hit,omitempty"` // "cache": served from cache
+}
+
+// ResultPayload is the terminal line of a successful /run stream and the
+// unit the result cache stores: for one canonical spec hash this line is
+// byte-identical on every response, computed or cached.
+type ResultPayload struct {
+	Event  string `json:"event"` // always "result"
+	Key    string `json:"key"`   // canonical spec hash
+	Kind   string `json:"kind"`
+	Preset string `json:"preset"`
+	Text   string `json:"text"`          // the formatted report
+	CSV    string `json:"csv,omitempty"` // machine-readable grid (matrix/sweep kinds)
+}
+
+// encodeEventLine converts an Observer event to its wire line.
+func encodeEventLine(ev exp.Event) []byte {
+	we := WireEvent{Event: ev.Kind.String(), Total: ev.Total, Done: ev.Done, Msg: ev.Msg}
+	if ev.Err != nil {
+		we.Err = ev.Err.Error()
+	}
+	switch ev.Kind {
+	case eval.EventCellStart, eval.EventCellDone:
+		we.Cell = &WireCell{
+			Index: ev.Cell.Index, Seed: ev.Cell.Seed,
+			Scenario: ev.Cell.Scenario, Attack: ev.Cell.Attack, Defense: ev.Cell.Defense,
+		}
+	}
+	if ev.Kind == eval.EventCellDone && ev.Result != nil {
+		we.Metrics = &WireMetrics{
+			MinGap: WireFloat(ev.Result.MinGap), MinTTC: WireFloat(ev.Result.MinTTC),
+			MeanGapErr: WireFloat(ev.Result.MeanGapErr),
+			Collision:  ev.Result.Collision, Steps: ev.Result.Steps,
+		}
+	}
+	return mustMarshal(we)
+}
+
+// cacheLine builds the terminal cache-marker line.
+func cacheLine(key string, hit bool) []byte {
+	return mustMarshal(WireEvent{Event: "cache", Key: key, Hit: hit})
+}
+
+// errorLine builds the terminal line of a failed run.
+func errorLine(err error) []byte {
+	return mustMarshal(WireEvent{Event: "error", Err: err.Error()})
+}
+
+// EncodeResult serializes a run result into the cacheable payload line.
+// Encoding is deterministic (fixed field order, minimal floats), so
+// bit-identical results — the Spec guarantee — yield byte-identical
+// payloads.
+func EncodeResult(key string, res *exp.Result) ([]byte, error) {
+	p, err := exp.PresetByName(res.Spec.Preset)
+	if err != nil {
+		return nil, err
+	}
+	payload := ResultPayload{
+		Event: "result", Key: key,
+		Kind: res.Spec.Kind, Preset: p.Name,
+		Text: res.Text,
+	}
+	if res.Matrix != nil {
+		payload.CSV = res.Matrix.CSV()
+	}
+	buf, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode result: %w", err)
+	}
+	return buf, nil
+}
+
+// mustMarshal encodes a wire value whose types cannot fail to marshal.
+func mustMarshal(v any) []byte {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return buf
+}

@@ -1,0 +1,363 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+)
+
+// fakeRunner is a Runner with controllable blocking: each RunObserved
+// emits a minimal well-formed event sequence, then (when gate is set)
+// waits for one gate send — or its context — before returning.
+type fakeRunner struct {
+	mu    sync.Mutex
+	calls int
+	gate  chan struct{} // nil: return immediately
+}
+
+func (f *fakeRunner) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *fakeRunner) RunObserved(ctx context.Context, s exp.Spec, obs exp.Observer) (*exp.Result, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	if obs != nil {
+		obs.Observe(exp.Event{Kind: exp.EventRunStart, Total: 1})
+	}
+	if f.gate != nil {
+		select {
+		case <-f.gate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if obs != nil {
+		obs.Observe(exp.Event{Kind: exp.EventRunDone, Total: 1})
+	}
+	return &exp.Result{Spec: s, Text: "fake result for " + s.Kind}, nil
+}
+
+// newFakeServer wires a Server around a fakeRunner behind an HTTP
+// test listener.
+func newFakeServer(t *testing.T, fake *fakeRunner) (*Server, *httptest.Server) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	srv := New(ctx, Config{
+		NewRunner: func(context.Context, string, func(string, ...any)) (Runner, error) {
+			return fake, nil
+		},
+	})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+const testSpecJSON = `{"kind":"table1","preset":"quick"}`
+
+// postRun submits a spec and returns the raw NDJSON lines.
+func postRun(t *testing.T, base, spec string) [][]byte {
+	t.Helper()
+	resp, err := http.Post(base+"/run", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /run: %s: %s", resp.Status, msg)
+	}
+	return readLines(t, resp.Body)
+}
+
+func readLines(t *testing.T, r io.Reader) [][]byte {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 32<<20)
+	var lines [][]byte
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+			lines = append(lines, append([]byte(nil), sc.Bytes()...))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return lines
+}
+
+// eventNames decodes the "event" discriminator of each line.
+func eventNames(t *testing.T, lines [][]byte) []string {
+	t.Helper()
+	names := make([]string, len(lines))
+	for i, line := range lines {
+		var ev WireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d %q: %v", i, line, err)
+		}
+		names[i] = ev.Event
+	}
+	return names
+}
+
+func TestServeCacheHitByteIdentical(t *testing.T) {
+	fake := &fakeRunner{}
+	srv, hs := newFakeServer(t, fake)
+
+	first := postRun(t, hs.URL, testSpecJSON)
+	names := eventNames(t, first)
+	want := []string{"run-start", "run-done", "cache", "result"}
+	if fmt.Sprint(names) != fmt.Sprint(want) {
+		t.Fatalf("first stream %v, want %v", names, want)
+	}
+	var cacheEv WireEvent
+	if err := json.Unmarshal(first[2], &cacheEv); err != nil {
+		t.Fatal(err)
+	}
+	if cacheEv.Hit {
+		t.Fatal("first submission reported a cache hit")
+	}
+
+	// The second submission is syntactically different JSON addressing
+	// the same run: it must be a hit, and the payload byte-identical.
+	second := postRun(t, hs.URL, `{
+	  "preset": "quick",
+	  "kind":   "table1"
+	}`)
+	if names := eventNames(t, second); fmt.Sprint(names) != fmt.Sprint([]string{"cache", "result"}) {
+		t.Fatalf("cached stream %v", names)
+	}
+	if err := json.Unmarshal(second[0], &cacheEv); err != nil {
+		t.Fatal(err)
+	}
+	if !cacheEv.Hit {
+		t.Fatal("second submission missed the cache")
+	}
+	if !bytes.Equal(first[3], second[1]) {
+		t.Fatalf("cached payload differs:\n%s\n%s", first[3], second[1])
+	}
+	if fake.count() != 1 {
+		t.Fatalf("runner ran %d times, want 1", fake.count())
+	}
+	computes, hits, flights := srv.Stats()
+	if computes != 1 || hits != 1 || flights != 0 {
+		t.Fatalf("stats computes=%d hits=%d flights=%d", computes, hits, flights)
+	}
+}
+
+// flightFor returns the live flight for a spec hash, if any.
+func (s *Server) flightFor(key string) *flight {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flights[key]
+}
+
+func TestServeSingleFlightDedup(t *testing.T) {
+	fake := &fakeRunner{gate: make(chan struct{})}
+	srv, hs := newFakeServer(t, fake)
+	spec, err := exp.ParseSpec([]byte(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := exp.SpecHash(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 4
+	results := make(chan [][]byte, clients)
+	for c := 0; c < clients; c++ {
+		go func() {
+			resp, err := http.Post(hs.URL+"/run", "application/json", strings.NewReader(testSpecJSON))
+			if err != nil {
+				results <- nil
+				return
+			}
+			defer resp.Body.Close()
+			lines, _ := io.ReadAll(resp.Body)
+			results <- bytes.Split(bytes.TrimSpace(lines), []byte("\n"))
+		}()
+	}
+
+	// Wait until every client has subscribed to the single flight, then
+	// release the (single) computation.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		fl := srv.flightFor(key)
+		if fl != nil && fl.subscribers() == clients {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("clients never converged on one flight (flight=%v)", fl != nil)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(fake.gate)
+
+	var payloads [][]byte
+	for c := 0; c < clients; c++ {
+		lines := <-results
+		if lines == nil {
+			t.Fatal("a client failed")
+		}
+		payloads = append(payloads, lines[len(lines)-1])
+	}
+	for _, p := range payloads[1:] {
+		if !bytes.Equal(p, payloads[0]) {
+			t.Fatalf("subscribers saw different payloads:\n%s\n%s", payloads[0], p)
+		}
+	}
+	if fake.count() != 1 {
+		t.Fatalf("deduplicated submission computed %d times, want 1", fake.count())
+	}
+	if computes, _, _ := statsOf(srv); computes != 1 {
+		t.Fatalf("computes=%d, want 1", computes)
+	}
+}
+
+func statsOf(s *Server) (int64, int64, int) { return s.Stats() }
+
+func TestServeDisconnectCancelsWithoutPoisoningCache(t *testing.T) {
+	fake := &fakeRunner{gate: make(chan struct{})}
+	srv, hs := newFakeServer(t, fake)
+	spec, _ := exp.ParseSpec([]byte(testSpecJSON))
+	key, _ := exp.SpecHash(spec)
+
+	// First client connects, then vanishes mid-stream: the flight's
+	// context must cancel the run, and nothing may be cached.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, hs.URL+"/run", strings.NewReader(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			errc <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(io.Discard, resp.Body)
+		errc <- err
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.flightFor(key) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel() // client gone; last subscriber leaving cancels the compute
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled request reported success")
+	}
+	for srv.flightFor(key) != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled flight never cleaned up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := srv.cache.Get(key); ok {
+		t.Fatal("abandoned run poisoned the cache")
+	}
+	if computes, _, _ := srv.Stats(); computes != 0 {
+		t.Fatalf("abandoned run counted as a compute (%d)", computes)
+	}
+
+	// A fresh submission computes cleanly from scratch.
+	go func() { fake.gate <- struct{}{} }()
+	lines := postRun(t, hs.URL, testSpecJSON)
+	names := eventNames(t, lines)
+	if names[len(names)-1] != "result" {
+		t.Fatalf("retry stream %v", names)
+	}
+	if fake.count() != 2 {
+		t.Fatalf("runner ran %d times, want 2 (one cancelled, one clean)", fake.count())
+	}
+}
+
+func TestServeValidateAndResultsEndpoints(t *testing.T) {
+	fake := &fakeRunner{}
+	_, hs := newFakeServer(t, fake)
+
+	// Invalid specs are rejected with a 400 naming the problem.
+	resp, err := http.Post(hs.URL+"/validate", "application/json", strings.NewReader(`{"kind":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid spec: %s", resp.Status)
+	}
+	resp, err = http.Post(hs.URL+"/run", "application/json", strings.NewReader(`{"kind":"table1","typo":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s", resp.Status)
+	}
+
+	// Validate returns the canonical hash without running anything.
+	resp, err = http.Post(hs.URL+"/validate", "application/json", strings.NewReader(testSpecJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Key    string `json:"key"`
+		Cached bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	spec, _ := exp.ParseSpec([]byte(testSpecJSON))
+	wantKey, _ := exp.SpecHash(spec)
+	if v.Key != wantKey || v.Cached {
+		t.Fatalf("validate: %+v, want key %s uncached", v, wantKey)
+	}
+	if fake.count() != 0 {
+		t.Fatal("validate ran the spec")
+	}
+
+	// Results: 404 before the run, the cached payload after.
+	resp, err = http.Get(hs.URL + "/results/" + wantKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("uncomputed result: %s", resp.Status)
+	}
+	lines := postRun(t, hs.URL, testSpecJSON)
+	payload := lines[len(lines)-1]
+	resp, err = http.Get(hs.URL + "/results/" + wantKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cached result: %s", resp.Status)
+	}
+	if !bytes.Equal(bytes.TrimSpace(body), payload) {
+		t.Fatalf("GET /results differs from the streamed payload:\n%s\n%s", body, payload)
+	}
+}
