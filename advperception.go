@@ -55,6 +55,15 @@
 // a hit provably identical to a fresh compute. A ModelStore caches
 // trained victim weights on disk so environments warm-start across
 // processes.
+//
+// The fleet dispatcher (Dispatch; `advrepro dispatch`) fans a grid
+// spec's shards over a worker fleet — in-process pools, advrepro-run
+// subprocesses, serve daemons — and recovers from worker failure
+// automatically: crashed shards re-dispatch with capped exponential
+// backoff and resume from their JSONL lane files, stragglers hedge to a
+// second worker with first-writer-wins dedup, and repeat offenders are
+// quarantined. The merged report is byte-identical to an unsharded run
+// of the same Spec regardless of failures.
 package advperception
 
 import (
@@ -65,6 +74,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/defense"
 	"repro/internal/detect"
+	"repro/internal/dispatch"
 	"repro/internal/eval"
 	"repro/internal/exp"
 	"repro/internal/imaging"
@@ -182,6 +192,28 @@ type (
 	WireEvent = serve.WireEvent
 	// WireResult is the terminal (and cached) payload of a /run stream.
 	WireResult = serve.ResultPayload
+	// StreamConfig configures StreamSpec's reconnecting NDJSON consumer.
+	StreamConfig = serve.StreamConfig
+
+	// SweepRecord is one JSONL checkpoint line as a typed value: a
+	// finished grid cell plus the run configuration that produced it.
+	SweepRecord = eval.SweepRecord
+
+	// Transport executes one shard spec on some worker (fleet dispatch).
+	Transport = dispatch.Transport
+	// DispatchWorker is one dispatch target: a transport plus a name.
+	DispatchWorker = dispatch.Worker
+	// DispatchConfig configures a fleet dispatch run.
+	DispatchConfig = dispatch.Config
+	// DispatchReport is a dispatch run's outcome: the merged, verified
+	// grid plus the recovery bookkeeping (retries, hedges, quarantines).
+	DispatchReport = dispatch.Report
+	// PoolTransport runs shards in-process on a shared Experiment.
+	PoolTransport = dispatch.PoolTransport
+	// ExecTransport runs shards as local advrepro-run subprocesses.
+	ExecTransport = dispatch.ExecTransport
+	// HTTPTransport runs shards on a remote serve daemon.
+	HTTPTransport = dispatch.HTTPTransport
 )
 
 // Spec kinds, re-exported for spec-building callers.
@@ -247,6 +279,22 @@ func NewModelStore(dir string) (*ModelStore, error) { return eval.NewModelStore(
 // NewServer builds the evaluation daemon's serving core; mount
 // Server.Handler on an http.Server to expose it.
 func NewServer(ctx context.Context, cfg ServerConfig) *Server { return serve.New(ctx, cfg) }
+
+// StreamSpec POSTs a spec to a serve daemon's /run and consumes the
+// NDJSON stream to its terminal result, reconnecting through transient
+// drops up to the configured bound. Returns the terminal payload and
+// whether it was served from the daemon's cache.
+func StreamSpec(ctx context.Context, baseURL string, specJSON []byte, cfg StreamConfig) (*WireResult, bool, error) {
+	return serve.StreamSpec(ctx, baseURL, specJSON, cfg)
+}
+
+// Dispatch fans a grid spec's shards over a worker fleet and recovers
+// from worker failure automatically — retry with backoff and crash-exact
+// checkpoint resume, straggler hedging, worker quarantine. The returned
+// report is byte-identical to an unsharded run of the same spec.
+func Dispatch(ctx context.Context, cfg DispatchConfig) (*DispatchReport, error) {
+	return dispatch.Run(ctx, cfg)
+}
 
 // Registries: attacks, defenses and scenarios are registered by name and
 // addressed from Specs — an axis is a registration, not a code change.

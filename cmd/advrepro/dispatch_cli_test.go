@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseWorkerList(t *testing.T) {
+	specs, err := parseWorkerList("pool:2, exec ,exec:./bin/advrepro,http://h:8799,https://h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []workerSpec{
+		{kind: "pool", count: 2},
+		{kind: "exec"},
+		{kind: "exec", value: "./bin/advrepro"},
+		{kind: "http", value: "http://h:8799"},
+		{kind: "http", value: "https://h2"},
+	}
+	if len(specs) != len(want) {
+		t.Fatalf("parsed %d workers, want %d", len(specs), len(want))
+	}
+	for i := range want {
+		if specs[i] != want[i] {
+			t.Fatalf("worker %d = %+v, want %+v", i, specs[i], want[i])
+		}
+	}
+
+	// A bare "pool" is one in-process worker.
+	specs, err = parseWorkerList("pool")
+	if err != nil || len(specs) != 1 || specs[0].count != 1 {
+		t.Fatalf("bare pool: %+v, %v", specs, err)
+	}
+
+	for _, bad := range []string{"", "pool:0", "pool:x", "exec:", "ftp://h", "worker"} {
+		if _, err := parseWorkerList(bad); err == nil {
+			t.Fatalf("parseWorkerList(%q) accepted", bad)
+		}
+	}
+}

@@ -10,8 +10,9 @@
 //
 // Usage:
 //
-//	advrepro run -spec spec.json [-remote http://host:8799] [-artifacts dir] [-shard i/n] [-jsonl f] [-resume] [-progress] [-out report.txt] [-csv grid.csv] [-md grid.md]
-//	advrepro serve [-addr 127.0.0.1:8799] [-artifacts dir] [-workers n] [-warm quick,paper]
+//	advrepro run -spec spec.json [-remote http://host:8799] [-reconnects n] [-artifacts dir] [-shard i/n] [-jsonl f] [-resume] [-progress] [-out report.txt] [-csv grid.csv] [-md grid.md]
+//	advrepro serve [-addr 127.0.0.1:8799] [-artifacts dir] [-workers n] [-maxruns n] [-warm quick,paper]
+//	advrepro dispatch -spec spec.json [-workers pool:2,exec,http://host:8799] [-shards n] [-checkpoints dir] [-resume] [-heartbeat d] [-retries n] [-hedge-after f] [-hedge-factor f] [-strikes n] [-csv grid.csv] [-out report.txt]
 //	advrepro merge -spec spec.json [-out report.txt] [-csv grid.csv] shard0.jsonl shard1.jsonl ...
 //	advrepro -preset quick|paper -exp table1|table2|table3|table4|table5|fig2|pipeline|ablations|all [-out report.txt]
 //	advrepro matrix [-preset quick|paper] [-scenarios a,b,c] [-duration s] [-dt s] [-csv grid.csv] [-md grid.md] [-out report.txt]
@@ -30,7 +31,17 @@
 // serve starts the long-lived evaluation daemon (see internal/serve):
 // POST /run streams a spec's run as NDJSON events and serves repeat
 // submissions from a content-addressed result cache keyed by the
-// canonical spec hash.
+// canonical spec hash. -maxruns bounds concurrent computations: requests
+// beyond it are shed with 503 + Retry-After (cache hits and joins of an
+// in-flight run are always served).
+//
+// dispatch fans a grid spec's shards over a worker fleet (in-process
+// pool, advrepro-run subprocesses, serve daemons) and recovers from
+// worker failure automatically: crashed shards re-dispatch with capped
+// exponential backoff and resume from their JSONL lane, stragglers hedge
+// to a second worker with first-writer-wins dedup, and repeat offenders
+// are quarantined. The merged report is byte-identical to an unsharded
+// run of the same spec, no matter the failures (see internal/dispatch).
 //
 // merge joins the JSONL shard files of a distributed sweep back into the
 // combined grid report, verifying full grid coverage and per-cell seed
@@ -64,6 +75,8 @@ func main() {
 		err = runSpec(ctx, args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "serve":
 		err = runServe(ctx, args[1:], os.Stdout)
+	case len(args) > 0 && args[0] == "dispatch":
+		err = runDispatch(ctx, args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "merge":
 		err = runMerge(args[1:], os.Stdout)
 	case len(args) > 0 && args[0] == "matrix":
@@ -139,6 +152,7 @@ func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("advrepro run", flag.ContinueOnError)
 	specPath := fs.String("spec", "", "JSON spec addressing the run (required)")
 	remote := fs.String("remote", "", "submit the spec to a running daemon at this base URL instead of training locally")
+	reconnects := fs.Int("reconnects", 3, "with -remote: mid-stream reconnect budget before giving up")
 	artifacts := fs.String("artifacts", "", "trained-model artifact directory (skip victim training on repeat runs)")
 	shard := fs.String("shard", "", "override the sweep shard as i/n (sweep specs only)")
 	jsonl := fs.String("jsonl", "", "override the sweep JSONL checkpoint path")
@@ -193,7 +207,7 @@ func runSpec(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 
 	if *remote != "" {
-		return runRemoteSpec(ctx, *remote, spec, *progress, *csvPath, *mdPath, *out, stdout)
+		return runRemoteSpec(ctx, *remote, spec, *progress, *reconnects, *csvPath, *mdPath, *out, stdout)
 	}
 
 	opts := append(commonOpts(spec.Preset, *verbose, *progress, stdout), exp.WithWorkers(*workers))

@@ -1,10 +1,7 @@
 package main
 
 import (
-	"bufio"
-	"bytes"
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -12,7 +9,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -28,6 +24,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	addr := fs.String("addr", "127.0.0.1:8799", "listen address")
 	artifacts := fs.String("artifacts", "", "trained-model artifact directory (warm environment starts)")
 	workers := fs.Int("workers", 0, "cap each runner's worker pool (0 = GOMAXPROCS)")
+	maxRuns := fs.Int("maxruns", 0, "bound concurrent computations; extra new runs get 503 + Retry-After (0 = unbounded)")
 	warm := fs.String("warm", "", "comma-separated presets to build before accepting traffic")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -36,6 +33,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	srv := serve.New(ctx, serve.Config{
 		ArtifactDir: *artifacts,
 		Workers:     *workers,
+		MaxRuns:     *maxRuns,
 		Logf:        func(format string, a ...any) { log.Printf(format, a...) },
 	})
 	for _, preset := range splitNames(*warm) {
@@ -68,9 +66,13 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 // runRemoteSpec submits a spec to a running daemon and renders its
 // NDJSON stream: progress lines (with -progress), the cache verdict, and
-// the result text. The wire payload carries the same report a local run
-// prints, so -out/-csv work identically; only -md needs the local grid.
-func runRemoteSpec(ctx context.Context, remote string, spec exp.Spec, progress bool, csvPath, mdPath, outPath string, stdout io.Writer) error {
+// the result text. The stream reconnects through transient drops (dial
+// failures, mid-stream disconnects, 503 shedding) up to the -reconnects
+// budget, surfacing each attempt; the daemon's single-flight dedup makes
+// a reconnect rejoin the same run or land a free cache hit. The wire
+// payload carries the same report a local run prints, so -out/-csv work
+// identically; only -md needs the local grid.
+func runRemoteSpec(ctx context.Context, remote string, spec exp.Spec, progress bool, reconnects int, csvPath, mdPath, outPath string, stdout io.Writer) error {
 	if mdPath != "" {
 		return fmt.Errorf("run: -md needs a local run (the wire payload carries text and CSV only)")
 	}
@@ -78,57 +80,20 @@ func runRemoteSpec(ctx context.Context, remote string, spec exp.Spec, progress b
 	if err != nil {
 		return err
 	}
-	url := strings.TrimRight(remote, "/") + "/run"
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("run: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return fmt.Errorf("run: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("run: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
-	}
-
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 32<<20) // result payloads carry full reports
-	var payload *serve.ResultPayload
-	cacheHit := false
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var ev serve.WireEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			return fmt.Errorf("run: bad stream line %q: %w", line, err)
-		}
-		switch ev.Event {
-		case "error":
-			return fmt.Errorf("run: remote: %s", ev.Err)
-		case "cache":
-			cacheHit = ev.Hit
-		case "result":
-			var p serve.ResultPayload
-			if err := json.Unmarshal(line, &p); err != nil {
-				return fmt.Errorf("run: bad result payload: %w", err)
-			}
-			payload = &p
-		default:
+	payload, cacheHit, err := serve.StreamSpec(ctx, remote, body, serve.StreamConfig{
+		MaxReconnects: reconnects,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, "run: "+format+"\n", a...)
+		},
+		OnEvent: func(ev serve.WireEvent) error {
 			if progress {
 				printWireProgress(stdout, ev)
 			}
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return fmt.Errorf("run: stream: %w", err)
-	}
-	if payload == nil {
-		return fmt.Errorf("run: stream ended without a result (server gone mid-run?)")
+			return nil
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
 	}
 
 	verdict := "computed"

@@ -1,0 +1,314 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+)
+
+// This file is the fault-injection harness: transport wrappers that
+// manufacture the failure classes the dispatcher must absorb — crash
+// mid-shard, silent hang, torn checkpoint tail, duplicate delivery,
+// dial failure — plus the -inject grammar that arms them from the CLI.
+// Every fault is deterministic (trigger at the Nth cell, fire a bounded
+// number of times) so a faulted run converges to the exact unsharded
+// result and CI can assert byte-identity.
+
+// errInjected marks a harness-manufactured failure.
+type errInjected struct{ msg string }
+
+func (e errInjected) Error() string { return "dispatch: injected fault: " + e.msg }
+
+// countingObserver forwards events while counting cell completions and
+// firing a trigger at the Nth one.
+type countingObserver struct {
+	inner   eval.Observer
+	mu      sync.Mutex
+	done    int
+	n       int
+	fired   bool
+	trigger func()
+	// swallow, once set, drops all further events (hang simulation).
+	swallow bool
+}
+
+func (c *countingObserver) Observe(ev eval.Event) {
+	c.mu.Lock()
+	if c.swallow {
+		c.mu.Unlock()
+		return
+	}
+	fire := false
+	if ev.Kind == eval.EventCellDone {
+		c.done++
+		if !c.fired && c.done >= c.n {
+			c.fired = true
+			fire = true
+		}
+	}
+	c.mu.Unlock()
+	emit(c.inner, ev)
+	if fire && c.trigger != nil {
+		c.trigger()
+	}
+}
+
+// KillAfter crashes the attempt after N cells complete: the inner
+// transport's context is cancelled and an injected error is returned,
+// leaving a valid partial lane — exactly what a worker OOM or SIGKILL
+// leaves behind. Fires on the first Times attempts (default 1), then
+// passes through so the retry can finish.
+type KillAfter struct {
+	Inner Transport
+	N     int
+	Times int
+
+	mu    sync.Mutex
+	fired int
+}
+
+// Run implements Transport.
+func (t *KillAfter) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	t.mu.Lock()
+	times := t.Times
+	if times <= 0 {
+		times = 1
+	}
+	armed := t.fired < times
+	if armed {
+		t.fired++
+	}
+	t.mu.Unlock()
+	if !armed {
+		return t.Inner.Run(ctx, spec, obs)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co := &countingObserver{inner: obs, n: t.N, trigger: cancel}
+	err := t.Inner.Run(ictx, spec, co)
+	co.mu.Lock()
+	fired := co.fired
+	co.mu.Unlock()
+	if fired {
+		return errInjected{fmt.Sprintf("killed after %d cells", t.N)}
+	}
+	return err
+}
+
+// HangAfter simulates a silently wedged worker: after N cells the inner
+// transport is stopped, every further event is swallowed, and Run
+// blocks until the dispatcher's heartbeat monitor cancels the attempt.
+// Fires on the first Times attempts (default 1).
+type HangAfter struct {
+	Inner Transport
+	N     int
+	Times int
+
+	mu    sync.Mutex
+	fired int
+}
+
+// Run implements Transport.
+func (t *HangAfter) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	t.mu.Lock()
+	times := t.Times
+	if times <= 0 {
+		times = 1
+	}
+	armed := t.fired < times
+	if armed {
+		t.fired++
+	}
+	t.mu.Unlock()
+	if !armed {
+		return t.Inner.Run(ctx, spec, obs)
+	}
+	ictx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	co := &countingObserver{inner: obs, n: t.N}
+	co.trigger = func() {
+		co.mu.Lock()
+		co.swallow = true
+		co.mu.Unlock()
+		cancel()
+	}
+	err := t.Inner.Run(ictx, spec, co)
+	co.mu.Lock()
+	fired := co.fired
+	co.mu.Unlock()
+	if !fired {
+		return err
+	}
+	<-ctx.Done() // hang: no events, no return, until the monitor kills us
+	return errInjected{fmt.Sprintf("hung after %d cells", t.N)}
+}
+
+// DialFail fails the first Times attempts immediately, before any work —
+// a dead host or refused connection. Later attempts pass through.
+type DialFail struct {
+	Inner Transport
+	Times int
+
+	mu    sync.Mutex
+	fired int
+}
+
+// Run implements Transport.
+func (t *DialFail) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	t.mu.Lock()
+	times := t.Times
+	if times <= 0 {
+		times = 1
+	}
+	armed := t.fired < times
+	if armed {
+		t.fired++
+	}
+	t.mu.Unlock()
+	if armed {
+		return errInjected{"dial refused"}
+	}
+	return t.Inner.Run(ctx, spec, obs)
+}
+
+// DuplicateEvents delivers every cell completion twice — the at-least-
+// once delivery a reconnecting stream or hedged shard produces. The
+// dispatcher must dedup these without double-counting progress.
+type DuplicateEvents struct {
+	Inner Transport
+}
+
+// Run implements Transport.
+func (t *DuplicateEvents) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	return t.Inner.Run(ctx, spec, eval.ObserverFunc(func(ev eval.Event) {
+		emit(obs, ev)
+		if ev.Kind == eval.EventCellDone {
+			emit(obs, ev)
+		}
+	}))
+}
+
+// TornTail kills the attempt after N cells like KillAfter, then shears
+// the lane file mid-record — the torn final line an interrupted write
+// leaves. The retry must repair the tail and recompute only that cell.
+// Fires on the first Times attempts (default 1).
+type TornTail struct {
+	Inner Transport
+	N     int
+	Times int
+
+	kill KillAfter
+	once sync.Once
+}
+
+// Run implements Transport.
+func (t *TornTail) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	t.once.Do(func() { t.kill = KillAfter{Inner: t.Inner, N: t.N, Times: t.Times} })
+	err := t.kill.Run(ctx, spec, obs)
+	var inj errInjected
+	if err == nil || !asInjected(err, &inj) {
+		return err
+	}
+	if terr := tearLaneTail(spec.Sweep.JSONL); terr != nil {
+		return fmt.Errorf("%w (and tearing the tail failed: %v)", err, terr)
+	}
+	return errInjected{inj.msg + ", tail torn"}
+}
+
+func asInjected(err error, out *errInjected) bool {
+	e, ok := err.(errInjected)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+// tearLaneTail chops the lane's final record roughly in half, leaving
+// an unterminated, unparseable tail.
+func tearLaneTail(path string) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	body := strings.TrimRight(string(buf), "\n")
+	last := strings.LastIndexByte(body, '\n') + 1 // 0 when single-line
+	tear := last + (len(body)-last)/2
+	if tear <= last {
+		return nil // nothing substantial to tear
+	}
+	return os.WriteFile(path, []byte(body[:tear]), 0o644)
+}
+
+// Injection is one parsed -inject directive.
+type Injection struct {
+	Fault  string // kill | hang | dial | dup | torn
+	Worker int    // worker index the fault attaches to
+	N      int    // kill/hang/torn: cells before trigger; dial: failed attempts
+}
+
+// ParseInjections parses the -inject grammar: comma-separated
+// fault:worker[@N] directives, e.g. "kill:0@2,dial:1@1,dup:0,torn:2@3".
+func ParseInjections(s string) ([]Injection, error) {
+	var out []Injection
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fault, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("dispatch: bad -inject %q: want fault:worker[@N]", part)
+		}
+		inj := Injection{Fault: fault, N: 1}
+		workerStr, nStr, hasN := strings.Cut(rest, "@")
+		w, err := strconv.Atoi(workerStr)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("dispatch: bad -inject %q: worker index %q", part, workerStr)
+		}
+		inj.Worker = w
+		if hasN {
+			n, err := strconv.Atoi(nStr)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dispatch: bad -inject %q: count %q", part, nStr)
+			}
+			inj.N = n
+		}
+		switch fault {
+		case "kill", "hang", "dial", "dup", "torn":
+		default:
+			return nil, fmt.Errorf("dispatch: bad -inject %q: unknown fault %q (want kill|hang|dial|dup|torn)", part, fault)
+		}
+		out = append(out, inj)
+	}
+	return out, nil
+}
+
+// ApplyInjections wraps the targeted workers' transports with the
+// corresponding fault wrappers, in directive order.
+func ApplyInjections(workers []Worker, injs []Injection) error {
+	for _, inj := range injs {
+		if inj.Worker >= len(workers) {
+			return fmt.Errorf("dispatch: -inject targets worker %d but only %d workers configured", inj.Worker, len(workers))
+		}
+		w := &workers[inj.Worker]
+		switch inj.Fault {
+		case "kill":
+			w.Transport = &KillAfter{Inner: w.Transport, N: inj.N}
+		case "hang":
+			w.Transport = &HangAfter{Inner: w.Transport, N: inj.N}
+		case "dial":
+			w.Transport = &DialFail{Inner: w.Transport, Times: inj.N}
+		case "dup":
+			w.Transport = &DuplicateEvents{Inner: w.Transport}
+		case "torn":
+			w.Transport = &TornTail{Inner: w.Transport, N: inj.N}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,352 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/serve"
+)
+
+// Transport executes one sweep-kind shard spec on some worker. The
+// contract every implementation honours:
+//
+//   - finished cells are persisted to spec.Sweep.JSONL (the shard's lane
+//     file) in checkpoint format, flushed record by record, so a crashed
+//     attempt leaves a resumable tail;
+//   - cell progress streams to obs (EventCellDone with the cell result
+//     attached) — the dispatcher's liveness monitor feeds on these;
+//   - ctx cancellation abandons the attempt promptly.
+//
+// The dispatcher re-runs the SAME spec (Resume=true) after a failure, so
+// Run must be idempotent against its own partial output.
+type Transport interface {
+	Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error
+}
+
+// gridMeta is the record-stamp metadata of a spec's grid: everything a
+// lane record is validated against.
+type gridMeta struct {
+	ids      []eval.CellID
+	preset   string
+	duration float64
+	dt       float64
+}
+
+// specGridMeta derives the grid identity and record stamp of a spec.
+func specGridMeta(spec exp.Spec) (gridMeta, error) {
+	ids, err := spec.CellIDs()
+	if err != nil {
+		return gridMeta{}, err
+	}
+	p, err := exp.PresetByName(spec.Preset)
+	if err != nil {
+		return gridMeta{}, err
+	}
+	m := gridMeta{ids: ids, preset: p.Name}
+	if spec.Matrix != nil {
+		m.duration, m.dt = spec.Matrix.Duration, spec.Matrix.DT
+	}
+	return m, nil
+}
+
+// cellDone builds the observer event for a finished cell.
+func (m gridMeta) cellDone(index int, cell *eval.MatrixCell) eval.Event {
+	return eval.Event{Kind: eval.EventCellDone, Total: len(m.ids), Cell: m.ids[index], Result: cell}
+}
+
+// PoolTransport runs shards in-process on a shared Experiment: the
+// "fan out over local cores" worker. The sweep runtime itself writes the
+// lane file and emits cell events; several PoolTransports may share one
+// Experiment (per-run state is cloned per worker inside the sweep).
+type PoolTransport struct {
+	X *exp.Experiment
+}
+
+// Run implements Transport.
+func (t *PoolTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	// The dispatcher owns run-start/run-done framing; forward only cell
+	// progress and logs.
+	_, err := t.X.RunObserved(ctx, spec, eval.ObserverFunc(func(ev eval.Event) {
+		switch ev.Kind {
+		case eval.EventRunStart, eval.EventRunDone:
+		default:
+			emit(obs, ev)
+		}
+	}))
+	return err
+}
+
+// ExecTransport runs each shard as a local `advrepro run -spec` child
+// process — crash isolation without a daemon. The child writes the lane
+// file; liveness is observed by tailing it: every Poll interval the
+// checkpoint is re-read and newly appeared records are emitted as
+// cell-done events.
+type ExecTransport struct {
+	// Binary is the advrepro executable (empty = os.Executable()).
+	Binary string
+	// Args are extra `run` flags appended after -spec (e.g. -artifacts).
+	Args []string
+	// Poll is the lane-tail interval (default 200ms).
+	Poll time.Duration
+}
+
+// Run implements Transport.
+func (t *ExecTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	meta, err := specGridMeta(spec)
+	if err != nil {
+		return err
+	}
+	lane := spec.Sweep.JSONL
+	body, err := spec.JSON()
+	if err != nil {
+		return err
+	}
+	specFile, err := os.CreateTemp(filepath.Dir(lane), "dispatch_spec_*.json")
+	if err != nil {
+		return fmt.Errorf("dispatch: spec file: %w", err)
+	}
+	defer os.Remove(specFile.Name())
+	if _, err := specFile.Write(body); err != nil {
+		specFile.Close()
+		return fmt.Errorf("dispatch: spec file: %w", err)
+	}
+	specFile.Close()
+
+	bin := t.Binary
+	if bin == "" {
+		if bin, err = os.Executable(); err != nil {
+			return fmt.Errorf("dispatch: resolve own binary: %w", err)
+		}
+	}
+	args := append([]string{"run", "-spec", specFile.Name()}, t.Args...)
+	cmd := exec.CommandContext(ctx, bin, args...)
+	var stderr tailBuffer
+	cmd.Stderr = &stderr
+	cmd.Stdout = &stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("dispatch: start worker: %w", err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+
+	poll := t.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	seen := map[int]bool{}
+	emitNew := func() {
+		done, _, err := eval.LoadSweepCheckpoint(lane, meta.ids, meta.preset, meta.duration, meta.dt)
+		if err != nil {
+			return // a torn tail mid-poll is normal; the final load decides
+		}
+		for idx, cell := range done {
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			c := cell
+			emit(obs, meta.cellDone(idx, &c))
+		}
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case err := <-waitErr:
+			emitNew()
+			if err != nil {
+				return fmt.Errorf("dispatch: worker exited: %w (output tail: %s)", err, stderr.tail())
+			}
+			return nil
+		case <-ticker.C:
+			emitNew()
+		case <-ctx.Done():
+			<-waitErr // CommandContext kills the child; reap it
+			return ctx.Err()
+		}
+	}
+}
+
+// tailBuffer retains the last chunk of child output for error messages.
+type tailBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (t *tailBuffer) Write(p []byte) (int, error) {
+	t.mu.Lock()
+	t.buf = append(t.buf, p...)
+	if len(t.buf) > 4096 {
+		t.buf = t.buf[len(t.buf)-4096:]
+	}
+	t.mu.Unlock()
+	return len(p), nil
+}
+
+func (t *tailBuffer) tail() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return strings.TrimSpace(string(t.buf))
+}
+
+// HTTPTransport runs shards on a remote `advrepro serve` daemon. The
+// daemon executes the shard spec (stripped of local-only checkpoint
+// fields — its single-flight/cache layer dedups by the same canonical
+// hash) and streams cell-done events carrying full checkpoint records;
+// the transport validates each record against the grid and appends it to
+// the LOCAL lane file, so remote shards resume and merge exactly like
+// local ones. Cache hits and reconnect gaps are backfilled from the
+// terminal payload's record set.
+type HTTPTransport struct {
+	// Base is the daemon's base URL (http://host:port).
+	Base string
+	// Reconnects bounds mid-stream reconnect attempts per Run (the
+	// dispatcher's retry/backoff wraps around whole Run failures).
+	Reconnects int
+	// Logf narrates reconnects (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Run implements Transport.
+func (t *HTTPTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observer) error {
+	meta, err := specGridMeta(spec)
+	if err != nil {
+		return err
+	}
+	lane, err := openLane(spec.Sweep.JSONL, meta, spec.Sweep.Resume)
+	if err != nil {
+		return err
+	}
+	defer lane.close()
+
+	// The remote runs the same shard decomposition but keeps no local
+	// state of ours; JSONL/Resume are meaningless (and hash-neutral:
+	// CanonicalSpec strips them) on the wire.
+	remote := spec
+	rs := *spec.Sweep
+	rs.JSONL, rs.Resume = "", false
+	remote.Sweep = &rs
+	body, err := remote.JSON()
+	if err != nil {
+		return err
+	}
+
+	record := func(raw json.RawMessage) error {
+		var rec eval.SweepRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return fmt.Errorf("dispatch: bad wire record: %w", err)
+		}
+		if err := rec.Validate(meta.ids, meta.preset, meta.duration, meta.dt); err != nil {
+			return fmt.Errorf("dispatch: wire record: %w", err)
+		}
+		fresh, err := lane.append(rec.Index, raw)
+		if err != nil {
+			return err
+		}
+		if fresh {
+			emit(obs, meta.cellDone(rec.Index, &rec.Cell))
+		}
+		return nil
+	}
+
+	payload, _, err := serve.StreamSpec(ctx, t.Base, body, serve.StreamConfig{
+		MaxReconnects: t.Reconnects,
+		Logf:          t.Logf,
+		OnEvent: func(ev serve.WireEvent) error {
+			switch ev.Event {
+			case "cell-done":
+				if len(ev.Record) > 0 {
+					return record(ev.Record)
+				}
+			case "cell-start":
+				if ev.Cell != nil && ev.Cell.Index >= 0 && ev.Cell.Index < len(meta.ids) {
+					emit(obs, eval.Event{
+						Kind: eval.EventCellStart, Total: len(meta.ids), Cell: meta.ids[ev.Cell.Index],
+					})
+				}
+			case "log":
+				emit(obs, eval.Event{Kind: eval.EventLog, Msg: ev.Msg})
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		return err
+	}
+	// Backfill: a cache hit streams no cell events at all, and a
+	// reconnect may have missed a window; the terminal payload carries
+	// the complete record set.
+	for _, raw := range payload.Records {
+		if err := record(raw); err != nil {
+			return err
+		}
+	}
+	return lane.sync()
+}
+
+// laneWriter appends validated checkpoint records to a shard lane file,
+// deduplicating by grid index (a resumed or reconnected stream replays
+// records it already delivered). Records are written whole, one Write
+// per line, so a crash tears at most the final line — exactly the state
+// LoadSweepCheckpoint repairs.
+type laneWriter struct {
+	f    *os.File
+	seen map[int]bool
+}
+
+// openLane opens (resuming or truncating) a lane file, pre-validating
+// any surviving records against the grid and repairing a torn tail.
+func openLane(path string, meta gridMeta, resume bool) (*laneWriter, error) {
+	seen := map[int]bool{}
+	if resume {
+		done, validLen, err := eval.LoadSweepCheckpoint(path, meta.ids, meta.preset, meta.duration, meta.dt)
+		if err != nil {
+			return nil, err
+		}
+		if st, serr := os.Stat(path); serr == nil && st.Size() > validLen {
+			if err := os.Truncate(path, validLen); err != nil {
+				return nil, fmt.Errorf("dispatch: repair lane tail: %w", err)
+			}
+		}
+		for idx := range done {
+			seen[idx] = true
+		}
+	}
+	mode := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		mode |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, mode, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: open lane: %w", err)
+	}
+	return &laneWriter{f: f, seen: seen}, nil
+}
+
+// append writes one record line unless its index was already persisted,
+// reporting whether the record was fresh.
+func (w *laneWriter) append(index int, raw json.RawMessage) (bool, error) {
+	if w.seen[index] {
+		return false, nil
+	}
+	line := make([]byte, 0, len(raw)+1)
+	line = append(line, raw...)
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return false, fmt.Errorf("dispatch: lane write: %w", err)
+	}
+	w.seen[index] = true
+	return true, nil
+}
+
+func (w *laneWriter) sync() error { return w.f.Sync() }
+func (w *laneWriter) close()      { w.f.Close() }

@@ -1,0 +1,269 @@
+package eval
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Checkpoint behaviour under dispatcher conditions: lane files written by
+// remote workers, duplicated by hedged shards, torn by crashes, and
+// carried across re-dispatch generations. These tests fabricate records
+// directly (no trained environment) — the invariants under test live
+// entirely in the record/checkpoint layer.
+
+// fabricatedGrid is a synthetic 2×2×2 grid identity.
+func fabricatedGrid() []CellID {
+	ids := make([]CellID, 0, 8)
+	for _, sc := range []string{"s0", "s1"} {
+		for _, at := range []string{"none", "cap"} {
+			for _, df := range []string{"none", "median"} {
+				i := len(ids)
+				ids = append(ids, CellID{
+					Index: i, Seed: 5000 + int64(i)*17,
+					Scenario: sc, Attack: at, Defense: df,
+				})
+			}
+		}
+	}
+	return ids
+}
+
+// fabricatedCell derives a deterministic MatrixCell from a grid identity,
+// including one +Inf TTC so the infinity-safe encoding is on the path.
+func fabricatedCell(id CellID) MatrixCell {
+	ttc := 1.5 + float64(id.Index)
+	if id.Index == 2 {
+		ttc = math.Inf(1)
+	}
+	return MatrixCell{
+		Scenario: id.Scenario, Attack: id.Attack, Defense: id.Defense, Seed: id.Seed,
+		Collision: id.Index%3 == 0,
+		MinGap:    0.5 + float64(id.Index), MinTTC: ttc,
+		MeanGapErr: 0.125 * float64(id.Index), Steps: 10 + id.Index,
+		Result: sim.Result{
+			Times:    []float64{0, 0.1},
+			TrueGaps: []float64{float64(id.Index), float64(id.Index) + 1},
+			MinGap:   0.5 + float64(id.Index), MinTTC: ttc,
+			Collision: id.Index%3 == 0,
+		},
+	}
+}
+
+const (
+	fabPreset   = "micro"
+	fabDuration = 0.8
+	fabDT       = 0.1
+)
+
+// laneLine encodes one checkpoint line (with trailing newline) for id.
+func laneLine(t *testing.T, id CellID) []byte {
+	t.Helper()
+	rec := SweepRecord{
+		Index: id.Index, Seed: id.Seed, Preset: fabPreset,
+		Duration: fabDuration, DT: fabDT, Cell: fabricatedCell(id),
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+func writeLane(t *testing.T, path string, ids []CellID, pick []int) {
+	t.Helper()
+	var buf []byte
+	for _, i := range pick {
+		buf = append(buf, laneLine(t, ids[i])...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadSweepCheckpointTornTailMidRecord: a crash mid-append leaves a
+// partial final line; loading must recover every complete record, report
+// the valid prefix length exactly at the last complete line, and never
+// count the torn record done. An unterminated line that happens to parse
+// is equally not done — the repair truncates it and the cell re-runs.
+func TestLoadSweepCheckpointTornTailMidRecord(t *testing.T) {
+	ids := fabricatedGrid()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lane.jsonl")
+
+	var complete []byte
+	for _, i := range []int{0, 1, 2} {
+		complete = append(complete, laneLine(t, ids[i])...)
+	}
+	torn := laneLine(t, ids[3])
+	torn = torn[:len(torn)/2] // cut mid-record, no newline
+	if err := os.WriteFile(path, append(append([]byte{}, complete...), torn...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	done, validLen, err := LoadSweepCheckpoint(path, ids, fabPreset, fabDuration, fabDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Fatalf("recovered %d cells, want 3", len(done))
+	}
+	if validLen != int64(len(complete)) {
+		t.Fatalf("valid prefix %d bytes, want %d (end of last complete line)", validLen, len(complete))
+	}
+	for _, i := range []int{0, 1, 2} {
+		if !reflect.DeepEqual(done[i], fabricatedCell(ids[i])) {
+			t.Fatalf("cell %d corrupted by round trip", i)
+		}
+	}
+	if _, torn := done[3]; torn {
+		t.Fatal("torn record counted as done")
+	}
+
+	// Repair + re-append, as the resumed worker does: truncate to the
+	// valid prefix, append the record whole — now all four count.
+	if err := os.Truncate(path, validLen); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(laneLine(t, ids[3])); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	done, _, err = LoadSweepCheckpoint(path, ids, fabPreset, fabDuration, fabDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("after repair: %d cells, want 4", len(done))
+	}
+
+	// A final record that parses but lacks its newline is still not done.
+	unterminated := laneLine(t, ids[4])
+	unterminated = unterminated[:len(unterminated)-1]
+	f, err = os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(unterminated); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	done, validLen2, err := LoadSweepCheckpoint(path, ids, fabPreset, fabDuration, fabDT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := done[4]; ok {
+		t.Fatal("unterminated record counted as done")
+	}
+	if len(done) != 4 {
+		t.Fatalf("unterminated tail changed recovery: %d cells", len(done))
+	}
+	if st, _ := os.Stat(path); validLen2 >= st.Size() {
+		t.Fatalf("valid prefix %d should exclude the unterminated tail (file %d)", validLen2, st.Size())
+	}
+}
+
+// TestLoadSweepCheckpointRejectsForeignGeneration: a lane file surviving
+// from an earlier dispatch generation whose grid diverged (different
+// seeds, different run configuration) must be rejected loudly when the
+// re-dispatch resumes onto it — silent mixing would corrupt the merge.
+func TestLoadSweepCheckpointRejectsForeignGeneration(t *testing.T) {
+	ids := fabricatedGrid()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lane.jsonl")
+	writeLane(t, path, ids, []int{0, 1})
+
+	// Generation 2 re-derives the grid under a different base seed.
+	shifted := make([]CellID, len(ids))
+	copy(shifted, ids)
+	for i := range shifted {
+		shifted[i].Seed += 1000
+	}
+	_, _, err := LoadSweepCheckpoint(path, shifted, fabPreset, fabDuration, fabDT)
+	if err == nil || !strings.Contains(err.Error(), "stale checkpoint?") {
+		t.Fatalf("foreign-seed generation not rejected as stale: %v", err)
+	}
+
+	// Same grid, different run configuration: also a foreign generation.
+	if _, _, err := LoadSweepCheckpoint(path, ids, fabPreset, 2*fabDuration, fabDT); err == nil ||
+		!strings.Contains(err.Error(), "stale checkpoint?") {
+		t.Fatalf("foreign-duration generation not rejected: %v", err)
+	}
+	if _, _, err := LoadSweepCheckpoint(path, ids, "paper", fabDuration, fabDT); err == nil {
+		t.Fatalf("foreign-preset generation not rejected: %v", err)
+	}
+
+	// The matching generation still loads.
+	done, _, err := LoadSweepCheckpoint(path, ids, fabPreset, fabDuration, fabDT)
+	if err != nil || len(done) != 2 {
+		t.Fatalf("matching generation failed: %d cells, %v", len(done), err)
+	}
+}
+
+// TestMergeSweepsDuplicateHedgedCells: a hedged shard delivers its cells
+// twice — once from the straggler's lane, once from the hedge lane. The
+// merge must accept bit-identical duplicates and produce the exact grid;
+// a duplicate that DIFFERS (diverging runs) must abort the merge.
+func TestMergeSweepsDuplicateHedgedCells(t *testing.T) {
+	ids := fabricatedGrid()
+	dir := t.TempDir()
+	primary := filepath.Join(dir, "shard_0_of_2.jsonl")
+	hedge := filepath.Join(dir, "shard_0_of_2_hedge.jsonl")
+	other := filepath.Join(dir, "shard_1_of_2.jsonl")
+
+	// The straggler finished half its shard before the hedge fired; the
+	// hedge re-ran the whole shard. Cells 0 and 2 exist in both lanes.
+	writeLane(t, primary, ids, []int{0, 2})
+	writeLane(t, hedge, ids, []int{0, 2, 4, 6})
+	writeLane(t, other, ids, []int{1, 3, 5, 7})
+
+	rep, err := MergeSweeps(ids, fabPreset, fabDuration, fabDT, []string{primary, hedge, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(ids) {
+		t.Fatalf("merged %d cells, want %d", len(rep.Cells), len(ids))
+	}
+	for _, id := range ids {
+		if !reflect.DeepEqual(rep.Cells[id.Index], fabricatedCell(id)) {
+			t.Fatalf("merged cell %d diverges", id.Index)
+		}
+	}
+
+	// Tamper with the hedge's copy of cell 2: the duplicate now disagrees
+	// with the primary, which means the lanes came from diverging runs —
+	// the merge must fail, not pick a winner.
+	bad := fabricatedCell(ids[2])
+	bad.MinGap += 0.25
+	rec := SweepRecord{
+		Index: ids[2].Index, Seed: ids[2].Seed, Preset: fabPreset,
+		Duration: fabDuration, DT: fabDT, Cell: bad,
+	}
+	buf, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tampered []byte
+	tampered = append(tampered, laneLine(t, ids[0])...)
+	tampered = append(tampered, buf...)
+	tampered = append(tampered, '\n')
+	tampered = append(tampered, laneLine(t, ids[4])...)
+	tampered = append(tampered, laneLine(t, ids[6])...)
+	if err := os.WriteFile(hedge, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeSweeps(ids, fabPreset, fabDuration, fabDT, []string{primary, hedge, other}); err == nil ||
+		!strings.Contains(err.Error(), "differs between") {
+		t.Fatalf("diverging duplicate not rejected: %v", err)
+	}
+}

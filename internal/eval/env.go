@@ -99,22 +99,26 @@ func NewEnvCached(ctx context.Context, p Preset, logf func(format string, args .
 	// the stream stays aligned and a mixed build (one model warm, one
 	// trained) is still bit-identical to an all-cold build.
 	e.Det = detect.New(rng.Split(), e.SignCfg.Size)
-	warmDet, err := loadArtifact(store, func() (bool, error) { return store.LoadDetector(e.Det, p) })
-	if err != nil {
-		return nil, err
-	}
-	if warmDet {
-		e.logf("env: detector warm start from artifact %s (training skipped)", store.DetectorKey(p))
-	} else {
+	trainDet := func() error {
 		dcfg := detect.DefaultTrainConfig()
 		dcfg.Epochs = p.DetEpochs
 		dcfg.Seed = p.Seed + 1
 		dcfg.Logf = e.Logf
 		e.Det.Train(e.SignTrainSet, dcfg)
-		if store != nil {
-			if err := store.SaveDetector(e.Det, p); err != nil {
-				return nil, err
-			}
+		return nil
+	}
+	if store == nil {
+		trainDet()
+	} else {
+		// EnsureDetector holds the cross-process training lock: if a
+		// sibling worker sharing this store is already training the same
+		// preset, this one waits and warm-starts from its artifact.
+		trained, err := store.EnsureDetector(e.Det, p, trainDet, e.Logf)
+		if err != nil {
+			return nil, err
+		}
+		if !trained {
+			e.logf("env: detector warm start from artifact %s (training skipped)", store.DetectorKey(p))
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -122,22 +126,23 @@ func NewEnvCached(ctx context.Context, p Preset, logf func(format string, args .
 	}
 
 	e.Reg = regress.New(rng.Split(), e.DriveCfg.Size)
-	warmReg, err := loadArtifact(store, func() (bool, error) { return store.LoadRegressor(e.Reg, p) })
-	if err != nil {
-		return nil, err
-	}
-	if warmReg {
-		e.logf("env: regressor warm start from artifact %s (training skipped)", store.RegressorKey(p))
-	} else {
+	trainReg := func() error {
 		rcfg := regress.DefaultTrainConfig()
 		rcfg.Epochs = p.RegEpochs
 		rcfg.Seed = p.Seed + 2
 		rcfg.Logf = e.Logf
 		e.Reg.Train(e.DriveTrain, rcfg)
-		if store != nil {
-			if err := store.SaveRegressor(e.Reg, p); err != nil {
-				return nil, err
-			}
+		return nil
+	}
+	if store == nil {
+		trainReg()
+	} else {
+		trained, err := store.EnsureRegressor(e.Reg, p, trainReg, e.Logf)
+		if err != nil {
+			return nil, err
+		}
+		if !trained {
+			e.logf("env: regressor warm start from artifact %s (training skipped)", store.RegressorKey(p))
 		}
 	}
 	if err := ctx.Err(); err != nil {
@@ -145,14 +150,6 @@ func NewEnvCached(ctx context.Context, p Preset, logf func(format string, args .
 	}
 
 	return e, nil
-}
-
-// loadArtifact runs the store lookup when a store is configured.
-func loadArtifact(store *ModelStore, load func() (bool, error)) (bool, error) {
-	if store == nil {
-		return false, nil
-	}
-	return load()
 }
 
 // logf logs progress when a sink is configured.

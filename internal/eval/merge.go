@@ -19,7 +19,7 @@ import (
 // must match the configuration the shards ran under. It verifies:
 //
 //   - every record matches the grid (index range, seed, axis names,
-//     preset/duration/dt) — the loadSweepCheckpoint validation;
+//     preset/duration/dt) — the LoadSweepCheckpoint validation;
 //   - the files jointly cover every cell of the grid exactly;
 //   - a cell present in more than one file (overlapping shards, a resumed
 //     file merged next to a complete one) carries bit-identical results.
@@ -33,13 +33,13 @@ func MergeSweeps(ids []CellID, preset string, duration, dt float64, paths []stri
 	cells := make(map[int]MatrixCell, len(ids))
 	from := make(map[int]string, len(ids))
 	for _, path := range paths {
-		// loadSweepCheckpoint treats a missing file as an empty resume
+		// LoadSweepCheckpoint treats a missing file as an empty resume
 		// state; for a merge a missing shard is a caller error (typoed
 		// path, un-synced machine), so surface it as one.
 		if _, err := os.Stat(path); err != nil {
 			return MatrixReport{}, fmt.Errorf("merge: shard file: %w", err)
 		}
-		done, _, err := loadSweepCheckpoint(path, ids, preset, duration, dt)
+		done, _, err := LoadSweepCheckpoint(path, ids, preset, duration, dt)
 		if err != nil {
 			return MatrixReport{}, fmt.Errorf("merge: %w", err)
 		}

@@ -171,6 +171,65 @@ func toSweepCell(c MatrixCell) sweepCell {
 	}
 }
 
+// SweepRecord is the exported view of one JSONL checkpoint line: a
+// finished grid cell plus the run configuration that produced it. The
+// fleet dispatcher and the serving layer move these records between
+// machines; Marshal/Unmarshal reproduce exactly the bytes the in-process
+// checkpoint writer streams, so a record received over the wire and
+// appended to a local checkpoint file is indistinguishable from one the
+// worker wrote itself.
+type SweepRecord struct {
+	Index    int
+	Seed     int64
+	Preset   string
+	Duration float64
+	DT       float64
+	Cell     MatrixCell
+}
+
+// MarshalJSON implements json.Marshaler with the checkpoint line schema.
+func (r SweepRecord) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sweepRecord{
+		Index: r.Index, Seed: r.Seed, Preset: r.Preset,
+		Duration: r.Duration, DT: r.DT, Cell: toSweepCell(r.Cell),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *SweepRecord) UnmarshalJSON(b []byte) error {
+	var rec sweepRecord
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return err
+	}
+	*r = SweepRecord{
+		Index: rec.Index, Seed: rec.Seed, Preset: rec.Preset,
+		Duration: rec.Duration, DT: rec.DT, Cell: fromSweepCell(rec.Cell),
+	}
+	return nil
+}
+
+// Validate checks the record against a grid identity and run
+// configuration — the per-record check checkpoint resume and shard merge
+// apply: the index must lie inside the grid, the run configuration must
+// match, and the cell's seed and axis names must equal the grid's.
+func (r SweepRecord) Validate(ids []CellID, preset string, duration, dt float64) error {
+	if r.Index < 0 || r.Index >= len(ids) {
+		return fmt.Errorf("cell index %d outside grid of %d", r.Index, len(ids))
+	}
+	if r.Preset != preset || r.Duration != duration || r.DT != dt {
+		return fmt.Errorf("written under preset=%s duration=%v dt=%v, expected preset=%s duration=%v dt=%v — stale checkpoint?",
+			r.Preset, r.Duration, r.DT, preset, duration, dt)
+	}
+	id := ids[r.Index]
+	if r.Seed != id.Seed || r.Cell.Scenario != id.Scenario ||
+		r.Cell.Attack != id.Attack || r.Cell.Defense != id.Defense {
+		return fmt.Errorf("cell %d (%s/%s/%s seed %d) does not match the configured grid (%s/%s/%s seed %d) — stale checkpoint?",
+			r.Index, r.Cell.Scenario, r.Cell.Attack, r.Cell.Defense, r.Seed,
+			id.Scenario, id.Attack, id.Defense, id.Seed)
+	}
+	return nil
+}
+
 func fromSweepCell(c sweepCell) MatrixCell {
 	return MatrixCell{
 		Scenario: c.Scenario, Attack: c.Attack, Defense: c.Defense, Seed: c.Seed,
@@ -268,7 +327,7 @@ func (e *Env) RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepReport, er
 	validLen := int64(0)
 	if cfg.Resume && cfg.JSONL != "" {
 		var err error
-		done, validLen, err = loadSweepCheckpoint(cfg.JSONL, ids, e.Preset.Name, cfg.Matrix.Duration, cfg.Matrix.DT)
+		done, validLen, err = LoadSweepCheckpoint(cfg.JSONL, ids, e.Preset.Name, cfg.Matrix.Duration, cfg.Matrix.DT)
 		if err != nil {
 			return SweepReport{}, err
 		}
@@ -366,13 +425,17 @@ func (e *Env) RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepReport, er
 	return rep, finish(nil)
 }
 
-// loadSweepCheckpoint replays a JSONL stream, validating every record
+// LoadSweepCheckpoint replays a JSONL stream, validating every record
 // against the grid identity. It returns the recovered cells and the byte
 // length of the stream's valid prefix: a truncated trailing line (a write
 // cut off by the interrupt the resume is recovering from) is tolerated and
 // excluded from the prefix, so the caller can repair the tail before
-// appending; any other malformed or mismatching record is an error.
-func loadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt float64) (map[int]MatrixCell, int64, error) {
+// appending; any other malformed or mismatching record is an error. A
+// missing file is an empty resume state, not an error. Besides the sweep
+// runtime's own resume, the fleet dispatcher uses this to follow worker
+// checkpoints, recover crashed dispatch sessions, and probe lane files
+// before the final merge.
+func LoadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt float64) (map[int]MatrixCell, int64, error) {
 	buf, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return map[int]MatrixCell{}, 0, nil
@@ -394,7 +457,7 @@ func loadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt 
 		lineNo++
 
 		if len(line) > 0 {
-			var rec sweepRecord
+			var rec SweepRecord
 			if err := json.Unmarshal(line, &rec); err != nil {
 				if !terminated {
 					// Torn tail: the interrupt cut this write short. Stop
@@ -403,25 +466,14 @@ func loadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt 
 				}
 				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
 			}
-			if rec.Index < 0 || rec.Index >= len(ids) {
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell index %d outside grid of %d", path, lineNo, rec.Index, len(ids))
-			}
-			if rec.Preset != preset || rec.Duration != duration || rec.DT != dt {
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: written under preset=%s duration=%v dt=%v, resuming with preset=%s duration=%v dt=%v — stale checkpoint?",
-					path, lineNo, rec.Preset, rec.Duration, rec.DT, preset, duration, dt)
-			}
-			id := ids[rec.Index]
-			if rec.Seed != id.Seed || rec.Cell.Scenario != id.Scenario ||
-				rec.Cell.Attack != id.Attack || rec.Cell.Defense != id.Defense {
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: cell %d (%s/%s/%s seed %d) does not match the configured grid (%s/%s/%s seed %d) — stale checkpoint?",
-					path, lineNo, rec.Index, rec.Cell.Scenario, rec.Cell.Attack, rec.Cell.Defense, rec.Seed,
-					id.Scenario, id.Attack, id.Defense, id.Seed)
+			if err := rec.Validate(ids, preset, duration, dt); err != nil {
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
 			}
 			if terminated {
 				// An unterminated record — even one that parses — is not
 				// counted done: the truncation repair drops it, and the
 				// resumed run re-executes and re-streams that cell.
-				done[rec.Index] = fromSweepCell(rec.Cell)
+				done[rec.Index] = rec.Cell
 			}
 		}
 

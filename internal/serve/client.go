@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StreamConfig configures a StreamSpec call.
+type StreamConfig struct {
+	// MaxReconnects bounds how many times a dropped stream is re-POSTed
+	// (0 = no reconnects: first drop is fatal). The daemon deduplicates
+	// by canonical spec hash, so a reconnect either rejoins the same
+	// in-flight run or lands a free cache hit — it never doubles work.
+	MaxReconnects int
+	// ReconnectWait is the pause before each reconnect (default 1s). A
+	// 503's Retry-After header overrides it for that attempt.
+	ReconnectWait time.Duration
+	// OnEvent receives every non-terminal wire event in stream order. A
+	// non-nil return aborts the stream with that error. On a reconnect
+	// the run's events replay from the flight's broadcast position — the
+	// callback must tolerate duplicates (cell records carry their grid
+	// index, so dedup by index is natural).
+	OnEvent func(WireEvent) error
+	// Client overrides the HTTP client (nil = http.DefaultClient).
+	Client *http.Client
+	// Logf narrates reconnect attempts (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// permanentErr marks a server-reported failure: reconnecting cannot help,
+// the run itself failed.
+type permanentErr struct{ err error }
+
+func (p permanentErr) Error() string { return p.err.Error() }
+func (p permanentErr) Unwrap() error { return p.err }
+
+// StreamSpec POSTs a spec to a daemon's /run and consumes the NDJSON
+// stream to its terminal result, reconnecting through transient drops
+// (dial failures, mid-stream disconnects, 503 shedding) up to the
+// configured bound. Returns the terminal payload and whether the LAST
+// attempt was served from the daemon's cache. Remote "error" events and
+// non-retriable HTTP statuses fail immediately — those are run failures,
+// not transport failures.
+func StreamSpec(ctx context.Context, baseURL string, specJSON []byte, cfg StreamConfig) (*ResultPayload, bool, error) {
+	client := cfg.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	wait := cfg.ReconnectWait
+	if wait <= 0 {
+		wait = time.Second
+	}
+	url := strings.TrimRight(baseURL, "/") + "/run"
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			if attempt > cfg.MaxReconnects {
+				return nil, false, fmt.Errorf("serve: stream failed after %d reconnect(s): %w", cfg.MaxReconnects, lastErr)
+			}
+			if cfg.Logf != nil {
+				cfg.Logf("reconnected (attempt %d)", attempt)
+			}
+			if cfg.OnEvent != nil {
+				// Surface the reconnect in the event stream too, so
+				// progress renderers show it inline.
+				ev := WireEvent{Event: "log", Msg: fmt.Sprintf("reconnected (attempt %d)", attempt)}
+				if err := cfg.OnEvent(ev); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		payload, hit, retryIn, err := streamOnce(ctx, client, url, specJSON, cfg.OnEvent)
+		if err == nil {
+			return payload, hit, nil
+		}
+		var perm permanentErr
+		if errors.As(err, &perm) {
+			return nil, false, perm.err
+		}
+		if ctx.Err() != nil {
+			return nil, false, ctx.Err()
+		}
+		lastErr = err
+		sleep := wait
+		if retryIn > 0 {
+			sleep = retryIn
+		}
+		select {
+		case <-time.After(sleep):
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// streamOnce performs one POST + stream consumption. retryIn carries a
+// 503 Retry-After hint; a nil error means the terminal payload arrived.
+func streamOnce(ctx context.Context, client *http.Client, url string, specJSON []byte, onEvent func(WireEvent) error) (payload *ResultPayload, cacheHit bool, retryIn time.Duration, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(specJSON))
+	if err != nil {
+		return nil, false, 0, permanentErr{err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false, 0, fmt.Errorf("serve: dial: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		// Load shedding: transient by definition, honor Retry-After.
+		retry := time.Duration(0)
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(strings.TrimSpace(s)); perr == nil && secs > 0 {
+				retry = time.Duration(secs) * time.Second
+			}
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, retry, fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	default:
+		// 4xx (bad spec) and unexpected statuses: retrying re-sends the
+		// same bytes to the same server — fail now.
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, false, 0, permanentErr{fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(msg)))}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 32<<20) // result payloads carry full grids
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev WireEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, false, 0, fmt.Errorf("serve: bad stream line %q: %w", line, err)
+		}
+		switch ev.Event {
+		case "error":
+			return nil, false, 0, permanentErr{fmt.Errorf("serve: remote: %s", ev.Err)}
+		case "cache":
+			cacheHit = ev.Hit
+		case "result":
+			var p ResultPayload
+			if err := json.Unmarshal(line, &p); err != nil {
+				return nil, false, 0, fmt.Errorf("serve: bad result payload: %w", err)
+			}
+			payload = &p
+		default:
+			if onEvent != nil {
+				if err := onEvent(ev); err != nil {
+					return nil, false, 0, permanentErr{err}
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, false, 0, fmt.Errorf("serve: stream: %w", err)
+	}
+	if payload == nil {
+		return nil, false, 0, fmt.Errorf("serve: stream ended without a result (connection dropped mid-run?)")
+	}
+	return payload, cacheHit, 0, nil
+}

@@ -95,6 +95,13 @@ type WireEvent struct {
 	Msg     string       `json:"msg,omitempty"`
 	Err     string       `json:"err,omitempty"`
 
+	// Record, on grid-kind "cell-done" events, is the cell's full
+	// eval.SweepRecord checkpoint line: a client appending it to a local
+	// JSONL lane file reconstructs exactly the checkpoint the worker
+	// would have written, which is what lets the fleet dispatcher resume
+	// remote shards from local state.
+	Record json.RawMessage `json:"record,omitempty"`
+
 	Key string `json:"key,omitempty"` // "cache": canonical spec hash
 	Hit bool   `json:"hit,omitempty"` // "cache": served from cache
 }
@@ -109,10 +116,58 @@ type ResultPayload struct {
 	Preset string `json:"preset"`
 	Text   string `json:"text"`          // the formatted report
 	CSV    string `json:"csv,omitempty"` // machine-readable grid (matrix/sweep kinds)
+
+	// Records holds every grid cell as a checkpoint line (grid kinds
+	// only). A cache hit streams no cell-done events, and a reconnecting
+	// client may have missed some — the terminal payload always carries
+	// the complete set, so a lane file can be backfilled from it alone.
+	Records []json.RawMessage `json:"records,omitempty"`
 }
 
-// encodeEventLine converts an Observer event to its wire line.
-func encodeEventLine(ev exp.Event) []byte {
+// recordContext carries the run configuration a grid cell's checkpoint
+// record is stamped with — the same values the in-process jsonlWriter
+// uses, so wire records and locally-written records are byte-identical.
+// Nil disables record emission (non-grid kinds).
+type recordContext struct {
+	preset   string
+	duration float64
+	dt       float64
+}
+
+// specRecordContext derives the record context of a grid-kind spec; nil
+// for kinds without a grid.
+func specRecordContext(spec exp.Spec) (*recordContext, error) {
+	if spec.Kind != exp.KindMatrix && spec.Kind != exp.KindSweep {
+		return nil, nil
+	}
+	p, err := exp.PresetByName(spec.Preset)
+	if err != nil {
+		return nil, err
+	}
+	rc := &recordContext{preset: p.Name}
+	if spec.Matrix != nil {
+		rc.duration, rc.dt = spec.Matrix.Duration, spec.Matrix.DT
+	}
+	return rc, nil
+}
+
+// checkpointRecord encodes one finished cell as its JSONL checkpoint line.
+func (rc *recordContext) checkpointRecord(index int, seed int64, cell eval.MatrixCell) json.RawMessage {
+	buf, err := json.Marshal(eval.SweepRecord{
+		Index: index, Seed: seed, Preset: rc.preset,
+		Duration: rc.duration, DT: rc.dt, Cell: cell,
+	})
+	if err != nil {
+		// Unreachable: SweepRecord marshals through the infinity-safe
+		// checkpoint schema.
+		panic(err)
+	}
+	return buf
+}
+
+// encodeEventLine converts an Observer event to its wire line. rc, when
+// non-nil, attaches the full checkpoint record to cell-done events.
+func encodeEventLine(ev exp.Event, rc *recordContext) []byte {
 	we := WireEvent{Event: ev.Kind.String(), Total: ev.Total, Done: ev.Done, Msg: ev.Msg}
 	if ev.Err != nil {
 		we.Err = ev.Err.Error()
@@ -129,6 +184,9 @@ func encodeEventLine(ev exp.Event) []byte {
 			MinGap: WireFloat(ev.Result.MinGap), MinTTC: WireFloat(ev.Result.MinTTC),
 			MeanGapErr: WireFloat(ev.Result.MeanGapErr),
 			Collision:  ev.Result.Collision, Steps: ev.Result.Steps,
+		}
+		if rc != nil {
+			we.Record = rc.checkpointRecord(ev.Cell.Index, ev.Cell.Seed, *ev.Result)
 		}
 	}
 	return mustMarshal(we)
@@ -160,6 +218,26 @@ func EncodeResult(key string, res *exp.Result) ([]byte, error) {
 	}
 	if res.Matrix != nil {
 		payload.CSV = res.Matrix.CSV()
+		rc, err := specRecordContext(res.Spec)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case rc == nil:
+		case res.Sweep != nil:
+			// A sweep shard's cells carry their GLOBAL grid indices in
+			// Indices — a record stamped with the slice position would
+			// fail grid validation on any shard but 0/1.
+			payload.Records = make([]json.RawMessage, len(res.Sweep.Cells))
+			for i, cell := range res.Sweep.Cells {
+				payload.Records[i] = rc.checkpointRecord(res.Sweep.Indices[i], cell.Seed, cell)
+			}
+		default:
+			payload.Records = make([]json.RawMessage, len(res.Matrix.Cells))
+			for i, cell := range res.Matrix.Cells {
+				payload.Records[i] = rc.checkpointRecord(i, cell.Seed, cell)
+			}
+		}
 	}
 	buf, err := json.Marshal(payload)
 	if err != nil {

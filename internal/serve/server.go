@@ -34,6 +34,11 @@ type Config struct {
 	ArtifactDir string
 	// Workers caps each runner's worker pool (0 = GOMAXPROCS).
 	Workers int
+	// MaxRuns bounds how many flights may compute at once (0 =
+	// unbounded). A request that would START a new flight beyond the
+	// bound is refused with 503 + Retry-After; joining an existing
+	// flight and cache hits are always served — they add no compute.
+	MaxRuns int
 	// Logf receives server lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 	// NewRunner overrides the runner factory (tests); nil builds real
@@ -56,6 +61,7 @@ type Server struct {
 
 	computes atomic.Int64
 	hits     atomic.Int64
+	rejected atomic.Int64
 }
 
 // New builds a Server. ctx scopes every computation and runner build:
@@ -153,10 +159,17 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+
+	fl, cached, rejected := s.joinFlight(key, spec)
+	if rejected {
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, fmt.Sprintf("serve: at capacity (%d runs in flight, -maxruns %d); retry later",
+			s.cfg.MaxRuns, s.cfg.MaxRuns), http.StatusServiceUnavailable)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Spec-Hash", key)
-
-	fl, cached := s.joinFlight(key, spec)
 	if cached != nil {
 		s.hits.Add(1)
 		writeLine(w, cacheLine(key, true))
@@ -191,21 +204,26 @@ func writeLine(w http.ResponseWriter, line []byte) {
 // one mutex hold, and the compute path inserts into the cache and
 // removes the flight under the same mutex, so every request lands on
 // exactly one of the two: there is no window where a finished result is
-// neither cached nor in flight.
-func (s *Server) joinFlight(key string, spec exp.Spec) (*flight, []byte) {
+// neither cached nor in flight. With MaxRuns set, a request that would
+// have to start a NEW flight past the bound is rejected instead (cache
+// hits and joins always succeed: they cost no compute).
+func (s *Server) joinFlight(key string, spec exp.Spec) (fl *flight, cached []byte, rejected bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if payload, ok := s.cache.Get(key); ok {
-		return nil, payload
+		return nil, payload, false
 	}
 	if fl, ok := s.flights[key]; ok {
-		return fl, nil
+		return fl, nil, false
+	}
+	if s.cfg.MaxRuns > 0 && len(s.flights) >= s.cfg.MaxRuns {
+		return nil, nil, true
 	}
 	fctx, cancel := context.WithCancel(s.ctx)
-	fl := newFlight(key, cancel)
+	fl = newFlight(key, cancel)
 	s.flights[key] = fl
 	go s.compute(fctx, fl, spec)
-	return fl, nil
+	return fl, nil, false
 }
 
 // compute runs one flight to completion: resolve the preset's runner
@@ -251,7 +269,13 @@ func (s *Server) computeResult(fctx context.Context, fl *flight, spec exp.Spec) 
 	if err != nil {
 		return nil, err
 	}
-	obs := exp.ObserverFunc(func(ev exp.Event) { fl.broadcast(encodeEventLine(ev)) })
+	// Grid kinds stream full checkpoint records on every cell-done, so
+	// remote clients can maintain a resumable local lane file.
+	rc, err := specRecordContext(spec)
+	if err != nil {
+		return nil, err
+	}
+	obs := exp.ObserverFunc(func(ev exp.Event) { fl.broadcast(encodeEventLine(ev, rc)) })
 	return runner.RunObserved(fctx, spec, obs)
 }
 
@@ -356,7 +380,10 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	w.Write(append(payload, '\n'))
 }
 
-// handleHealthz reports liveness and serving counters.
+// handleHealthz reports liveness, serving counters and load state: the
+// in-flight run count against the -maxruns bound and how many requests
+// have been shed, so a dispatcher (or an operator) can read back-pressure
+// without probing /run.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	computes, hits, flights := s.Stats()
 	w.Header().Set("Content-Type", "application/json")
@@ -365,7 +392,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Computes int64  `json:"computes"`
 		Hits     int64  `json:"hits"`
 		Flights  int    `json:"flights"`
-	}{"ok", computes, hits, flights}), '\n'))
+		InFlight int    `json:"in_flight"`
+		MaxRuns  int    `json:"max_runs"`
+		Rejected int64  `json:"rejected"`
+	}{"ok", computes, hits, flights, flights, s.cfg.MaxRuns, s.rejected.Load()}), '\n'))
 }
 
 // logf logs through the configured sink.
