@@ -19,9 +19,12 @@ import (
 	"os"
 	"os/exec"
 	"regexp"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/tensor"
 )
 
 // defaultBench selects the micro-benchmarks: model forwards, attack steps,
@@ -32,7 +35,8 @@ const defaultBench = "BenchmarkRegressorForward|BenchmarkRegressorForwardBatch8|
 	"BenchmarkDetectorForward|BenchmarkDetectorForwardBatch8|BenchmarkAttackFGSM|" +
 	"BenchmarkAttackAutoPGD|BenchmarkAttackCAPFrame|BenchmarkDefenseLatencyMedian|" +
 	"BenchmarkDefenseLatencyBitDepth|BenchmarkDefenseLatencyRandomization|" +
-	"BenchmarkMatMul|BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkTranspose2D|BenchmarkSequential"
+	"BenchmarkMatMul|BenchmarkMatMulKMajorSerial|BenchmarkMatMulKMajorParallel|" +
+	"BenchmarkIm2Col|BenchmarkCol2Im|BenchmarkTranspose2D|BenchmarkSequential"
 
 // Result is one parsed benchmark line.
 type Result struct {
@@ -55,11 +59,57 @@ type Delta struct {
 	AllocsBase int64   `json:"allocs_per_op_base"`
 }
 
+// Machine identifies the hardware/dispatch configuration a snapshot was
+// taken on. ns/op numbers are only comparable between runs on the same
+// configuration — a baseline recorded on different cores or a different
+// SIMD rung measures a different machine, and the -maxregress gate would
+// silently absorb the offset in its headroom. The gate therefore refuses
+// to compare mismatched machines (see machineMismatch).
+type Machine struct {
+	KMajorKernel string `json:"kmajor_kernel"`
+	NumCPU       int    `json:"num_cpu"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
+	GOOS         string `json:"goos"`
+	GOARCH       string `json:"goarch"`
+}
+
+func currentMachine() *Machine {
+	return &Machine{
+		KMajorKernel: tensor.KMajorKernel(),
+		NumCPU:       runtime.NumCPU(),
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		GOOS:         runtime.GOOS,
+		GOARCH:       runtime.GOARCH,
+	}
+}
+
+// machineMismatch explains why base is not comparable to cur, or returns
+// "" when the two snapshots came from the same configuration. The SIMD
+// rung and the core count are the comparability-critical fields: a kernel
+// change rescales every GEMM-bound bench, a core-count change rescales
+// every parallel one.
+func machineMismatch(cur, base *Machine) string {
+	if base == nil {
+		return "baseline predates machine metadata (regenerate it on this runner)"
+	}
+	if cur.KMajorKernel != base.KMajorKernel {
+		return fmt.Sprintf("kmajor kernel %q vs baseline %q", cur.KMajorKernel, base.KMajorKernel)
+	}
+	if cur.NumCPU != base.NumCPU {
+		return fmt.Sprintf("%d CPUs vs baseline %d", cur.NumCPU, base.NumCPU)
+	}
+	if cur.GOOS != base.GOOS || cur.GOARCH != base.GOARCH {
+		return fmt.Sprintf("%s/%s vs baseline %s/%s", cur.GOOS, cur.GOARCH, base.GOOS, base.GOARCH)
+	}
+	return ""
+}
+
 // Report is the BENCH_<date>.json schema.
 type Report struct {
 	Generated string   `json:"generated"`
 	Label     string   `json:"label,omitempty"`
 	GoVersion string   `json:"go_version"`
+	Machine   *Machine `json:"machine,omitempty"`
 	BenchRE   string   `json:"bench_regexp"`
 	BenchTime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
@@ -78,6 +128,7 @@ func main() {
 		out       = flag.String("out", "", "output path (default BENCH_<date>.json)")
 		dry       = flag.Bool("print", false, "print the report to stdout instead of writing a file")
 		maxRegr   = flag.Float64("maxregress", 0, "exit non-zero when any benchmark's ns/op regresses more than this percentage vs -baseline (0 disables the gate)")
+		skipMach  = flag.Bool("skipmachinecheck", false, "compare against a -baseline from a different machine anyway (deltas become cross-machine offsets, and -maxregress loses meaning)")
 	)
 	flag.Parse()
 	if *maxRegr != 0 && *baseline == "" {
@@ -101,6 +152,7 @@ func main() {
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		Label:     *label,
 		GoVersion: goVersion(),
+		Machine:   currentMachine(),
 		BenchRE:   *benchRE,
 		BenchTime: *benchtime,
 		Results:   results,
@@ -110,6 +162,21 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchreport: baseline: %v\n", err)
 			os.Exit(1)
+		}
+		// A baseline from a different machine/kernel configuration cannot
+		// gate this run: the deltas would mix code changes with hardware
+		// offsets. Fail loudly when gating (never silently pass) unless the
+		// operator explicitly opts into a cross-machine comparison.
+		if why := machineMismatch(rep.Machine, base.Machine); why != "" {
+			if *skipMach {
+				fmt.Fprintf(os.Stderr, "benchreport: WARNING: cross-machine baseline (%s); deltas are offsets, not regressions\n", why)
+			} else if *maxRegr != 0 {
+				fmt.Fprintf(os.Stderr, "benchreport: FATAL: baseline %s is not from this machine: %s\n", *baseline, why)
+				fmt.Fprintln(os.Stderr, "benchreport: refresh the baseline on this runner, or pass -skipmachinecheck to compare anyway (disables the point of the gate)")
+				os.Exit(1)
+			} else {
+				fmt.Fprintf(os.Stderr, "benchreport: note: baseline is from a different machine (%s); deltas are cross-machine offsets\n", why)
+			}
 		}
 		// Drop the baseline's own baseline so snapshots don't nest forever.
 		base.Baseline, base.Deltas = nil, nil

@@ -68,6 +68,57 @@ func TestBatchForwardBitIdentical(t *testing.T) {
 	}
 }
 
+// TestBatchForwardParallelGEMMBitIdentical is the batch invariant at a
+// shape whose conv patch product crosses the GEMM row-shard threshold
+// (batch 8 of 3×32×32 frames: the first conv lowers to a 2048×27 · 27×6
+// product, past tensor's parallelMinWork), so the batched forward runs on
+// the multi-core path while the single-sample references stay serial.
+// Frame-for-frame bit identity across GOMAXPROCS ∈ {1,4,16} pins the
+// row shards to the serial numerics — the per-model workspace buffers are
+// only ever touched by disjoint row ranges.
+func TestBatchForwardParallelGEMMBitIdentical(t *testing.T) {
+	rng := xrand.New(72)
+	const n, c, hw = 8, 3, 32
+	net := NewSequential(
+		NewConv2D(rng, c, 6, 3, 2, 1),
+		NewLeakyReLU(0.1),
+		NewConv2D(rng, 6, 8, 3, 2, 1),
+		NewLeakyReLU(0.1),
+		NewFlatten(),
+		NewLinear(rng, 8*8*8, 4),
+	)
+	batch := tensor.New(n, c, hw, hw)
+	rng.FillUniform(batch.Data(), 0, 1)
+	sample := c * hw * hw
+
+	// Serial single-sample reference on a clone at GOMAXPROCS=1.
+	old := runtime.GOMAXPROCS(1)
+	ref := net.Clone()
+	want := make([][]float32, n)
+	for s := 0; s < n; s++ {
+		x := tensor.FromSlice(batch.Data()[s*sample:(s+1)*sample], c, hw, hw)
+		out := ref.Forward(x, false)
+		want[s] = append([]float32(nil), out.Data()...)
+	}
+	runtime.GOMAXPROCS(old)
+
+	for _, procs := range []int{1, 4, 16} {
+		old := runtime.GOMAXPROCS(procs)
+		got := net.Forward(batch, false)
+		per := got.Len() / n
+		for s := 0; s < n; s++ {
+			row := got.Data()[s*per : (s+1)*per]
+			for i, v := range row {
+				if v != want[s][i] {
+					t.Fatalf("procs=%d: parallel-GEMM batched forward diverges at sample %d elem %d: %v vs %v",
+						procs, s, i, v, want[s][i])
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
 // TestBatchThenSingleForward interleaves batched and single calls on one
 // model instance: the workspace must resize transparently and the numbers
 // must not drift.

@@ -32,6 +32,33 @@ func BenchmarkMatMulKMajorConvForward(b *testing.B) {
 	}
 }
 
+// BenchmarkMatMulKMajorSerial and BenchmarkMatMulKMajorParallel are the
+// perf gate's row-shard pair: the same batch-8 conv patch product
+// (2048×108 · 108×24, past parallelMinWork) through the serial driver and
+// through the dispatched path (row-sharded at GOMAXPROCS > 1). On a
+// multi-core runner the gap between them is the row-shard win; on one
+// core they should be within noise of each other (dispatch overhead only).
+func BenchmarkMatMulKMajorSerial(b *testing.B) {
+	a, x, dst := New(2048, 108), New(108, 24), New(2048, 24)
+	fillSeq(a)
+	fillSeq(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matMulKMajorSerial(dst.Data(), a.Data(), x.Data(), 2048, 108, 24)
+	}
+}
+
+func BenchmarkMatMulKMajorParallel(b *testing.B) {
+	a, x, dst := New(2048, 108), New(108, 24), New(2048, 24)
+	fillSeq(a)
+	fillSeq(x)
+	b.Logf("kernel: %s", KMajorKernel())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulKMajorInto(dst, a, x)
+	}
+}
+
 // BenchmarkMatMulKMajorGemv is the single-frame dense-head gemv (1×2048 ·
 // 2048×48), the shape the assembly single-row tail exists for.
 func BenchmarkMatMulKMajorGemv(b *testing.B) {

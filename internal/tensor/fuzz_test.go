@@ -132,10 +132,10 @@ func fillSeq(t *Tensor) {
 // divergence — wrong value OR wrong bits — fails.
 func FuzzMatMulKMajorVsRef(f *testing.F) {
 	f.Add(uint8(4), uint8(8), uint8(8), int64(1))
-	f.Add(uint8(0), uint8(0), uint8(8), int64(2))   // k = 0: output must be all zeros
-	f.Add(uint8(0), uint8(6), uint8(0), int64(3))   // single row and column
-	f.Add(uint8(4), uint8(2), uint8(12), int64(4))  // n ≡ 1 mod 4: scalar column tail
-	f.Add(uint8(2), uint8(30), uint8(6), int64(5))  // row tail below the 4-row block
+	f.Add(uint8(0), uint8(0), uint8(8), int64(2))  // k = 0: output must be all zeros
+	f.Add(uint8(0), uint8(6), uint8(0), int64(3))  // single row and column
+	f.Add(uint8(4), uint8(2), uint8(12), int64(4)) // n ≡ 1 mod 4: scalar column tail
+	f.Add(uint8(2), uint8(30), uint8(6), int64(5)) // row tail below the 4-row block
 	f.Add(uint8(16), uint8(40), uint8(47), int64(6))
 	f.Fuzz(func(t *testing.T, mr, kr, nr uint8, seed int64) {
 		m := int(mr)%17 + 1
@@ -166,6 +166,44 @@ func FuzzMatMulKMajorVsRef(f *testing.F) {
 					t.Fatalf("m=%d k=%d n=%d (%s): [%d,%d] = %v, want %v",
 						m, k, n, KMajorKernel(), i, j, got[i*n+j], s)
 				}
+			}
+		}
+	})
+}
+
+// FuzzMatMulKMajorParallelVsSerial differentially fuzzes the row-shard
+// driver against the serial lane-kernel driver at arbitrary worker counts
+// (including more workers than rows), bypassing the work-threshold gate so
+// even tiny products exercise the shard arithmetic. The two must agree in
+// their bits: parallelism is dispatch, never numerics.
+func FuzzMatMulKMajorParallelVsSerial(f *testing.F) {
+	f.Add(uint8(4), uint8(8), uint8(8), uint8(2), int64(1))
+	f.Add(uint8(0), uint8(6), uint8(0), uint8(16), int64(2)) // m=1, workers > m
+	f.Add(uint8(6), uint8(2), uint8(12), uint8(3), int64(3)) // m not divisible by workers
+	f.Add(uint8(16), uint8(40), uint8(47), uint8(5), int64(4))
+	f.Fuzz(func(t *testing.T, mr, kr, nr, wr uint8, seed int64) {
+		m := int(mr)%33 + 1
+		k := int(kr)%33 + 1
+		n := int(nr)%41 + 1
+		workers := int(wr)%19 + 1
+		rng := xrand.New(seed)
+		a := make([]float32, m*k)
+		bk := make([]float32, k*n)
+		rng.FillUniform(a, -3, 3)
+		rng.FillUniform(bk, -3, 3)
+
+		want := make([]float32, m*n)
+		matMulKMajorSerial(want, a, bk, m, k, n)
+
+		got := make([]float32, m*n)
+		for i := range got {
+			got[i] = 99 // stale garbage must be fully overwritten
+		}
+		matMulKMajorParallel(got, a, bk, m, k, n, workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("m=%d k=%d n=%d workers=%d (%s): [%d] = %v, want %v",
+					m, k, n, workers, KMajorKernel(), i, got[i], want[i])
 			}
 		}
 	})

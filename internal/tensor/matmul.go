@@ -6,24 +6,17 @@ import (
 	"sync"
 )
 
-// parallelThreshold is the number of result rows below which MatMul runs
-// single-threaded; goroutine fan-out costs more than it saves on tiny
-// matrices (the common case for the small heads in this repository).
-const parallelThreshold = 32
-
 // Shape gates for the packed (transposed-B) kernel: below these the pack
 // pass costs more than the cache locality it buys, so the streaming ikj
 // kernel is used instead. Both gates depend only on the operand shapes,
 // never on GOMAXPROCS, so a given product always takes the same numeric
-// path regardless of the worker count.
+// path regardless of the worker count. The parallel gates
+// (parallelThreshold, parallelMinWork) live in parallel.go, shared with
+// the k-major GEMM so the two parallel paths tune from one source.
 const (
 	packMinRows = 8
 	packMinWork = 1 << 12
 )
-
-// splitMinWork is the minimum m*k*n at which the column fan-out engages for
-// short-and-wide products (the conv im2col shape).
-const splitMinWork = 1 << 17
 
 // packPool recycles the scratch buffers the packed kernel transposes B
 // into, so steady-state MatMul calls allocate nothing.
@@ -113,7 +106,7 @@ func matMulInto(c, a, b []float32, m, k, n int) {
 	}
 	// Small or very skinny products: the streaming ikj kernel.
 	workers := runtime.GOMAXPROCS(0)
-	if workers > 1 && m < parallelThreshold && n >= 4*parallelThreshold && m*k*n >= splitMinWork {
+	if workers > 1 && m < parallelThreshold && n >= 4*parallelThreshold && m*k*n >= parallelMinWork {
 		// Short-and-wide product: split columns.
 		matMulCols(c, a, b, m, k, n, workers)
 		return
@@ -138,36 +131,13 @@ func matMulTransB(c, a, bT []float32, m, k, n int) {
 		parallelRanges(m, workers, func(lo, hi int) {
 			dotKernelRows(c, a, bT, lo, hi, k, n)
 		})
-	case workers > 1 && n >= 4*parallelThreshold && m*k*n >= splitMinWork:
+	case workers > 1 && n >= 4*parallelThreshold && m*k*n >= parallelMinWork:
 		parallelRanges(n, workers, func(lo, hi int) {
 			dotKernelCols(c, a, bT, lo, hi, m, k, n)
 		})
 	default:
 		dotKernelRows(c, a, bT, 0, m, k, n)
 	}
-}
-
-// parallelRanges splits [0, n) into one contiguous chunk per worker and
-// runs fn on each chunk concurrently.
-func parallelRanges(n, workers int, fn func(lo, hi int)) {
-	if workers > n {
-		workers = n
-	}
-	per := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo := w * per
-		hi := min(lo+per, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }
 
 // dotKernelRows computes rows [lo, hi) of C = A·Bᵀ with a 2×4 register

@@ -1,6 +1,9 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"runtime"
+)
 
 // K-major matmul: dst = A·B with B supplied in k-major layout (k×n), the
 // natural layout of an untransposed right operand. Unlike the packed
@@ -15,32 +18,41 @@ import "fmt"
 // single-frame Conv2D/Linear forwards lower onto it (tall-skinny patch
 // products, and m=1 gemv shapes that the single-row assembly tail keeps on
 // SIMD), and the batched backward drives it for the input-gradient
-// products. Lane width is dispatched once at init — AVX2 8-wide where the
-// CPU supports it, SSE2 4-wide on baseline amd64, a pure-Go lane kernel
-// elsewhere or under the noasm build tag (see sgemm_amd64.go).
+// products. Lane width is dispatched once at init — AVX-512 16-wide or
+// AVX2 8-wide where the CPU supports them, SSE2 4-wide on baseline amd64,
+// NEON 4-wide on arm64, a pure-Go lane kernel elsewhere or under the
+// noasm build tag (see sgemm_amd64.go / sgemm_arm64.go).
+//
+// Above the shared parallelMinWork threshold the row dimension is sharded
+// across the persistent worker pool (parallel.go): each worker computes a
+// contiguous row range with this same serial driver, so parallelism is
+// pure dispatch and the bits never depend on GOMAXPROCS.
 
 // laneKernel is the signature of the assembly column-lane kernels:
 // c[i][0:w] = Σ_l a[i][l]·bk[l][0:w] for i in [0,m), with bk and c
 // pre-offset to the column block and a row stride of n floats.
 type laneKernel func(a, bk, c *float32, m, k, n int)
 
-// lanes8 and lanes4 are the kernels sgemmLanes dispatches to for 8- and
-// 4-column blocks. They stay nil (pure-Go fallback) off amd64 and under
-// the noasm tag; on amd64 package init assigns them once from CPU
-// features. They never change after init, so kernel choice is CPU-gated
-// only and can never vary with parallelism.
+// lanes16, lanes8 and lanes4 are the kernels the driver dispatches to for
+// 16-, 8- and 4-column blocks. They stay nil (pure-Go fallback) under the
+// noasm tag and on platforms without a matching rung; package init assigns
+// them once from CPU features (amd64: SSE2 baseline, AVX2/AVX-512 probed;
+// arm64: NEON 4-wide). They never change after init, so kernel choice is
+// CPU-gated only and can never vary with parallelism.
 var (
-	lanes8 laneKernel
-	lanes4 laneKernel
+	lanes16 laneKernel
+	lanes8  laneKernel
+	lanes4  laneKernel
 )
 
 // kmajorKernelName names the selected widest lane kernel for diagnostics.
 var kmajorKernelName = "generic"
 
 // KMajorKernel reports which lane kernel MatMulKMajorInto dispatches to in
-// this process: "avx2", "sse2" or "generic" (pure Go — non-amd64 builds
-// and the noasm tag). All three compute identical bits; the name is for
-// benchmarks and bug reports.
+// this process: "avx512", "avx2", "sse2", "neon" or "generic" (pure Go —
+// builds without a matching rung and the noasm tag). Every rung computes
+// identical bits; the name is for benchmarks, bug reports and the perf
+// gate's machine-match check.
 func KMajorKernel() string { return kmajorKernelName }
 
 // MatMulKMajorInto computes dst = A·B for A (m×k) and B (k×n) given in
@@ -58,14 +70,37 @@ func MatMulKMajorInto(dst, a, bK *Tensor) {
 	matMulKMajor(dst.data, a.data, bK.data, m, k, n)
 }
 
-// matMulKMajor tiles the product into 8-column (then 4-column) blocks for
-// sgemmLanes and finishes the sub-4 column tail with the scalar
-// ascending-dot loop. All paths agree bit for bit.
+// matMulKMajor is the dispatch point every MatMulKMajorInto call funnels
+// through: products past the shared work threshold row-shard across the
+// persistent pool, everything else (small shapes, gemv, GOMAXPROCS=1)
+// runs the serial driver directly. The gate depends only on the operand
+// shape and the worker count — never on values — and the shards reproduce
+// the serial bits exactly, so this is a pure throughput decision.
 func matMulKMajor(c, a, bk []float32, m, k, n int) {
+	if w := runtime.GOMAXPROCS(0); w > 1 && m >= 2 && m*k*n >= parallelMinWork {
+		matMulKMajorParallel(c, a, bk, m, k, n, w)
+		return
+	}
+	matMulKMajorSerial(c, a, bk, m, k, n)
+}
+
+// matMulKMajorSerial tiles the product into the widest column blocks the
+// selected ladder rung supports — 16 on AVX-512, 8 on AVX2/SSE2 and the
+// generic kernel, 4 on NEON — and finishes the sub-4 column tail with the
+// scalar ascending-dot loop. All paths agree bit for bit, so the tiling
+// is invisible in the results.
+func matMulKMajorSerial(c, a, bk []float32, m, k, n int) {
 	j := 0
 	if m > 0 && k > 0 {
-		for ; j+8 <= n; j += 8 {
-			sgemmLanes(c, a, bk, m, j, 8, k, n)
+		if lanes16 != nil {
+			for ; j+16 <= n; j += 16 {
+				lanes16(&a[0], &bk[j], &c[j], m, k, n)
+			}
+		}
+		if lanes8 != nil || lanes4 == nil {
+			for ; j+8 <= n; j += 8 {
+				sgemmLanes(c, a, bk, m, j, 8, k, n)
+			}
 		}
 		for ; j+4 <= n; j += 4 {
 			sgemmLanes(c, a, bk, m, j, 4, k, n)

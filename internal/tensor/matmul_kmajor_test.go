@@ -1,10 +1,33 @@
 package tensor
 
 import (
+	"os"
+	"strings"
 	"testing"
 
 	"repro/internal/xrand"
 )
+
+// TestKMajorKernelExpectedRung asserts KMajorKernel() reports a rung from
+// the comma-separated WANT_KMAJOR_KERNEL environment variable, and skips
+// when the variable is unset. The CI kernel-ladder job sets it per leg —
+// "generic" under -tags noasm, "avx2,avx512" under GOAMD64=v3 (v3
+// guarantees AVX2 but the runtime probe may still find AVX-512) — so a
+// dispatch bug that silently drops to a lower rung fails the build
+// instead of just running slower.
+func TestKMajorKernelExpectedRung(t *testing.T) {
+	want := os.Getenv("WANT_KMAJOR_KERNEL")
+	if want == "" {
+		t.Skipf("WANT_KMAJOR_KERNEL unset; dispatched kernel is %q", KMajorKernel())
+	}
+	got := KMajorKernel()
+	for _, w := range strings.Split(want, ",") {
+		if got == strings.TrimSpace(w) {
+			return
+		}
+	}
+	t.Fatalf("KMajorKernel() = %q, want one of %q", got, want)
+}
 
 // naiveKMajor is the reference: one ascending-l scalar dot per element,
 // exactly the accumulation order every kernel in the package must honour.
@@ -38,10 +61,10 @@ func TestMatMulKMajorBitIdentical(t *testing.T) {
 		{3, 7, 4},    // rows below the tile height
 		{16, 1, 8},   // k=1
 		{1024, 27, 12},
-		{8, 2048, 48},  // batched linear shape
-		{1, 2048, 48},  // single-frame linear gemv (assembly single-row tail)
-		{1, 48, 2048},  // its backward input-gradient shape
-		{2, 5, 9},      // sub-block rows with a scalar column tail
+		{8, 2048, 48},   // batched linear shape
+		{1, 2048, 48},   // single-frame linear gemv (assembly single-row tail)
+		{1, 48, 2048},   // its backward input-gradient shape
+		{2, 5, 9},       // sub-block rows with a scalar column tail
 		{1024, 108, 24}, // single-frame conv2 patch product
 	}
 	for _, s := range shapes {

@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/testenv"
+	"repro/internal/xrand"
+)
+
+// sameBits fails the test at the first element whose float32 bit pattern
+// differs — the parallel contract is byte equality, not approximate
+// equality.
+func sameBits(t *testing.T, what string, got, want []float32) {
+	t.Helper()
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("%s: bits diverge at %d: %v (%#x) vs %v (%#x)",
+				what, i, got[i], math.Float32bits(got[i]), want[i], math.Float32bits(want[i]))
+		}
+	}
+}
+
+// parallelBoundaryShapes are the row-split edge cases: m one row below and
+// above the work threshold (k·n = 648, so the gate flips between m=202
+// and m=203), m far past it and not divisible by any swept worker count,
+// the minimal two-row parallel shape, and the m=1 gemv that must stay
+// serial no matter how large k·n gets.
+var parallelBoundaryShapes = [][3]int{
+	{202, 27, 24},  // just below parallelMinWork: serial
+	{203, 27, 24},  // just above: parallel at GOMAXPROCS > 1
+	{1000, 27, 24}, // not divisible by 2, 4 or 16 workers
+	{2048, 108, 24},
+	{2, 2048, 64}, // minimal parallel m
+	{1, 4096, 64}, // gemv: m = 1 stays serial by construction
+}
+
+// TestMatMulKMajorParallelBitIdentical sweeps GOMAXPROCS ∈ {1,2,4,16}
+// over the row-split boundary shapes and asserts the dispatched product
+// is byte-identical to the serial lane-kernel driver: parallelism is
+// dispatch only, never numerics.
+func TestMatMulKMajorParallelBitIdentical(t *testing.T) {
+	rng := xrand.New(83)
+	for _, s := range parallelBoundaryShapes {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		rng.FillUniform(a.Data(), -2, 2)
+		bk := New(k, n)
+		rng.FillUniform(bk.Data(), -2, 2)
+
+		want := New(m, n)
+		matMulKMajorSerial(want.Data(), a.Data(), bk.Data(), m, k, n)
+
+		for _, procs := range []int{1, 2, 4, 16} {
+			old := runtime.GOMAXPROCS(procs)
+			got := New(m, n)
+			got.Fill(99) // stale garbage must be fully overwritten
+			MatMulKMajorInto(got, a, bk)
+			runtime.GOMAXPROCS(old)
+			sameBits(t, "GOMAXPROCS="+itoa(procs)+" shape "+itoa(m)+"x"+itoa(k)+"x"+itoa(n),
+				got.Data(), want.Data())
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestMatMulKMajorParallelExplicitWorkers drives the shard driver directly
+// at worker counts the GOMAXPROCS gate would never pick — more workers
+// than rows, row counts not divisible by the worker count, a single row —
+// so the chunk arithmetic is pinned independently of the dispatch gate.
+func TestMatMulKMajorParallelExplicitWorkers(t *testing.T) {
+	rng := xrand.New(84)
+	shapes := [][3]int{{1, 7, 9}, {2, 5, 17}, {7, 11, 13}, {33, 9, 20}, {64, 27, 24}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := New(m, k)
+		rng.FillUniform(a.Data(), -2, 2)
+		bk := New(k, n)
+		rng.FillUniform(bk.Data(), -2, 2)
+
+		want := New(m, n)
+		matMulKMajorSerial(want.Data(), a.Data(), bk.Data(), m, k, n)
+
+		for _, workers := range []int{1, 2, 3, 5, 16, m, m + 5} {
+			got := New(m, n)
+			got.Fill(99)
+			matMulKMajorParallel(got.Data(), a.Data(), bk.Data(), m, k, n, workers)
+			sameBits(t, "workers="+itoa(workers)+" m="+itoa(m), got.Data(), want.Data())
+		}
+	}
+}
+
+// TestMatMulKMajorConcurrentCallers hammers the persistent pool from many
+// goroutines at once on a shape past the parallel threshold — the exact
+// load profile of the matrix runner's per-worker models, whose conv
+// products all funnel through MatMulKMajorInto. Under -race this
+// certifies the pool tasks share no state beyond their disjoint output
+// rows.
+func TestMatMulKMajorConcurrentCallers(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := xrand.New(85)
+	const m, k, n = 512, 27, 24
+	a := New(m, k)
+	rng.FillUniform(a.Data(), -2, 2)
+	bk := New(k, n)
+	rng.FillUniform(bk.Data(), -2, 2)
+	want := New(m, n)
+	matMulKMajorSerial(want.Data(), a.Data(), bk.Data(), m, k, n)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := New(m, n)
+			for rep := 0; rep < 4; rep++ {
+				got.Fill(99)
+				MatMulKMajorInto(got, a, bk)
+				for i := range want.Data() {
+					if math.Float32bits(got.Data()[i]) != math.Float32bits(want.Data()[i]) {
+						t.Errorf("concurrent parallel GEMM diverged at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMatMulKMajorParallelSteadyStateAllocs pins the parallel path to zero
+// steady-state allocations once the pool is warm: tasks travel by value
+// through the channel and the WaitGroups are recycled, so the batched
+// conv products stay allocation-free even when sharded.
+func TestMatMulKMajorParallelSteadyStateAllocs(t *testing.T) {
+	if testenv.RaceEnabled {
+		t.Skip("allocation budgets are not meaningful under -race")
+	}
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	rng := xrand.New(86)
+	const m, k, n = 512, 27, 24 // past parallelMinWork: the sharded path
+	a := New(m, k)
+	rng.FillUniform(a.Data(), -1, 1)
+	bk := New(k, n)
+	rng.FillUniform(bk.Data(), -1, 1)
+	c := New(m, n)
+	MatMulKMajorInto(c, a, bk) // warm the pool and the WaitGroup cache
+	if avg := testing.AllocsPerRun(100, func() { MatMulKMajorInto(c, a, bk) }); avg >= 1 {
+		t.Fatalf("parallel MatMulKMajorInto allocates %.2f/op in steady state, want 0", avg)
+	}
+}

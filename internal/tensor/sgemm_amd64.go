@@ -4,16 +4,17 @@ package tensor
 
 // Kernel selection for the k-major SGEMM on amd64. SSE2 is part of the
 // amd64 baseline (GOAMD64=v1) so the 4-wide kernels are always available;
-// the 8-wide AVX2 kernel is enabled by a one-time CPUID probe at package
-// init (or unconditionally when the binary is compiled with GOAMD64=v3 or
-// higher, which guarantees AVX2). The choice is made exactly once and
-// depends only on the CPU, never on GOMAXPROCS or operand values, so a
-// given product always runs the same kernel — and since every kernel
-// performs the identical ascending-k per-lane accumulation, the choice is
-// a pure throughput decision anyway.
+// the 8-wide AVX2 and 16-wide AVX-512 kernels are enabled by a one-time
+// CPUID+XGETBV probe at package init (or unconditionally when the binary
+// is compiled with GOAMD64=v3 / v4, which guarantee AVX2 / AVX-512
+// respectively). The choice is made exactly once and depends only on the
+// CPU, never on GOMAXPROCS or operand values, so a given product always
+// runs the same kernel — and since every kernel performs the identical
+// ascending-k per-lane accumulation, the choice is a pure throughput
+// decision anyway.
 //
 // Escape hatches: build with -tags noasm to drop all assembly (pure-Go
-// lane kernel, still bit-identical), or GOAMD64=v3 to skip the runtime
+// lane kernel, still bit-identical), or GOAMD64=v3/v4 to skip the runtime
 // probe.
 
 // cpuid and xgetbv0 are implemented in cpuid_amd64.s.
@@ -46,6 +47,36 @@ func hasAVX2() bool {
 	return b7&(1<<5) != 0 // AVX2
 }
 
+// hasAVX512 reports whether the CPU and OS support the GOAMD64=v4 AVX-512
+// feature set (F+BW+CD+DQ+VL — the 16-wide kernel itself needs F for the
+// ZMM arithmetic and DQ for VXORPS on ZMM) and the OS saves the full
+// AVX-512 state (XCR0 opmask + ZMM bits on top of XMM/YMM). Matching the
+// v4 set keeps the runtime probe and the compile-time tag equivalent.
+func hasAVX512() bool {
+	if compileTimeAVX512 {
+		return true
+	}
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	const (
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	_, _, c1, _ := cpuid(1, 0)
+	if c1&osxsaveBit == 0 || c1&avxBit == 0 {
+		return false
+	}
+	// XMM|YMM (bits 1-2) plus opmask|ZMM_hi256|hi16_ZMM (bits 5-7).
+	if xlo, _ := xgetbv0(); xlo&0xe6 != 0xe6 {
+		return false
+	}
+	const need = 1<<16 | 1<<17 | 1<<28 | 1<<30 | 1<<31 // F, DQ, CD, BW, VL
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&need == need
+}
+
 // The lane kernels, implemented in sgemm_amd64.s. Each computes
 // c[i][0:w] = Σ_l a[i][l]·bk[l][0:w] for i in [0,m) — any m, rows in
 // blocks of 4 plus a single-row tail — with bk and c pre-offset to the
@@ -62,12 +93,20 @@ func sgemm4cols(a, bk, c *float32, m, k, n int)
 //go:noescape
 func sgemm8colsAVX2(a, bk, c *float32, m, k, n int)
 
+//go:noescape
+func sgemm16colsAVX512(a, bk, c *float32, m, k, n int)
+
 func init() {
 	lanes4 = sgemm4cols
-	if hasAVX2() {
+	switch {
+	case hasAVX512() && hasAVX2():
+		lanes16 = sgemm16colsAVX512
+		lanes8 = sgemm8colsAVX2
+		kmajorKernelName = "avx512"
+	case hasAVX2():
 		lanes8 = sgemm8colsAVX2
 		kmajorKernelName = "avx2"
-	} else {
+	default:
 		lanes8 = sgemm8cols
 		kmajorKernelName = "sse2"
 	}

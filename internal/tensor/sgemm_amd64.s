@@ -354,3 +354,109 @@ vt8l:
 vdone8:
 	VZEROUPPER
 	RET
+
+// func sgemm16colsAVX512(a, bk, c *float32, m, k, n int)
+//
+// The AVX-512 16-wide variant: one ZMM accumulator per row covers a whole
+// 16-column block, halving the per-l instruction count again over AVX2.
+// VMULPS and VADDPS stay separate (no FMA) so every lane performs the same
+// two float32 roundings per step as every other rung — bit-identical
+// output. Accumulators are zeroed with VPXORQ (AVX512F) rather than
+// VXORPS on ZMM (which would need only AVX512DQ, but F suffices here).
+// Only reachable after the hasAVX512 gate in sgemm_amd64.go confirms the
+// v4 feature set and OS ZMM state support.
+TEXT ·sgemm16colsAVX512(SB), NOSPLIT, $0-48
+	MOVQ a+0(FP), SI
+	MOVQ bk+8(FP), DX
+	MOVQ c+16(FP), DI
+	MOVQ m+24(FP), R8
+	MOVQ k+32(FP), R9
+	MOVQ n+40(FP), R12
+	SHLQ $2, R12           // n*4: bk and c row stride in bytes
+	MOVQ R9, R11
+	SHLQ $2, R11           // k*4: a row stride in bytes
+	TESTQ R9, R9
+	JZ   zdone16
+
+zrows16:
+	CMPQ R8, $4
+	JL   ztail16
+	VPXORQ Z0, Z0, Z0
+	VPXORQ Z1, Z1, Z1
+	VPXORQ Z2, Z2, Z2
+	VPXORQ Z3, Z3, Z3
+	MOVQ SI, AX            // a row 0
+	LEAQ (SI)(R11*1), BX   // a row 1
+	LEAQ (SI)(R11*2), R13  // a row 2
+	LEAQ (BX)(R11*2), R14  // a row 3
+	MOVQ DX, R15           // bk row 0
+	MOVQ R9, CX
+
+zl16:
+	VMOVUPS (R15), Z8      // bk[l][0:16]
+
+	VBROADCASTSS (AX), Z10
+	VMULPS Z8, Z10, Z10
+	VADDPS Z10, Z0, Z0
+
+	VBROADCASTSS (BX), Z10
+	VMULPS Z8, Z10, Z10
+	VADDPS Z10, Z1, Z1
+
+	VBROADCASTSS (R13), Z10
+	VMULPS Z8, Z10, Z10
+	VADDPS Z10, Z2, Z2
+
+	VBROADCASTSS (R14), Z10
+	VMULPS Z8, Z10, Z10
+	VADDPS Z10, Z3, Z3
+
+	ADDQ $4, AX
+	ADDQ $4, BX
+	ADDQ $4, R13
+	ADDQ $4, R14
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  zl16
+
+	MOVQ DI, AX
+	VMOVUPS Z0, (AX)
+	ADDQ R12, AX
+	VMOVUPS Z1, (AX)
+	ADDQ R12, AX
+	VMOVUPS Z2, (AX)
+	ADDQ R12, AX
+	VMOVUPS Z3, (AX)
+
+	LEAQ (SI)(R11*4), SI
+	LEAQ (DI)(R12*4), DI
+	SUBQ $4, R8
+	JMP  zrows16
+
+ztail16:
+	TESTQ R8, R8
+	JZ   zdone16
+	VPXORQ Z0, Z0, Z0
+	MOVQ SI, AX
+	MOVQ DX, R15
+	MOVQ R9, CX
+
+zt16l:
+	VMOVUPS (R15), Z8
+	VBROADCASTSS (AX), Z10
+	VMULPS Z8, Z10, Z10
+	VADDPS Z10, Z0, Z0
+	ADDQ $4, AX
+	ADDQ R12, R15
+	DECQ CX
+	JNZ  zt16l
+
+	VMOVUPS Z0, (DI)
+	ADDQ R11, SI
+	ADDQ R12, DI
+	DECQ R8
+	JMP  ztail16
+
+zdone16:
+	VZEROUPPER
+	RET

@@ -10,16 +10,19 @@ import (
 
 // TestSGEMMKernelsAgree cross-checks every assembly lane kernel directly
 // against the pure-Go lane kernel, independent of which one init selected:
-// the SSE2 8- and 4-column kernels, and — when the CPU supports it — the
-// AVX2 8-column kernel. This is the ladder's bit-identity proof: a machine
-// that dispatches AVX2 certifies SSE2 in the same run and vice versa.
+// the SSE2 8- and 4-column kernels, and — when the CPU supports them — the
+// AVX2 8-column and AVX-512 16-column kernels. This is the ladder's
+// bit-identity proof: a machine that dispatches AVX-512 certifies AVX2 and
+// SSE2 in the same run and vice versa. (The NEON rung is pinned the same
+// way on arm64: its 4-wide lane semantics are exactly kmajorColsGeneric
+// with w=4, which this test certifies against the assembly here.)
 func TestSGEMMKernelsAgree(t *testing.T) {
 	t.Logf("dispatched kernel: %s", KMajorKernel())
 	rng := xrand.New(97)
 	shapes := [][2]int{{1, 3}, {2, 7}, {3, 16}, {4, 1}, {5, 9}, {8, 27}, {13, 64}, {1, 2048}}
 	for _, s := range shapes {
 		m, k := s[0], s[1]
-		const n = 8 // one 8-column block; the 4-column kernel uses its first half
+		const n = 16 // one 16-column block; the narrower kernels use its prefix
 		a := New(m, k)
 		rng.FillUniform(a.Data(), -2, 2)
 		bk := New(k, n)
@@ -57,6 +60,21 @@ func TestSGEMMKernelsAgree(t *testing.T) {
 				}
 			}
 		}
+
+		if hasAVX512() {
+			// The 16-column reference is two adjacent 8-column generic
+			// blocks — lanes are independent, so the pairing is exact.
+			want16 := New(m, n)
+			kmajorColsGeneric(want16.Data(), a.Data(), bk.Data(), 0, m, 0, 8, k, n)
+			kmajorColsGeneric(want16.Data(), a.Data(), bk.Data(), 0, m, 8, 8, k, n)
+			got16 := New(m, n)
+			sgemm16colsAVX512(&a.Data()[0], &bk.Data()[0], &got16.Data()[0], m, k, n)
+			for i := range want16.Data() {
+				if got16.Data()[i] != want16.Data()[i] {
+					t.Fatalf("avx512 16-col m=%d k=%d diverges at %d: %v vs %v", m, k, i, got16.Data()[i], want16.Data()[i])
+				}
+			}
+		}
 	}
 }
 
@@ -65,13 +83,16 @@ func TestSGEMMKernelsAgree(t *testing.T) {
 // but the guard in the assembly should hold on its own).
 func TestSGEMMKernelsZeroK(t *testing.T) {
 	a := New(4, 1) // backing storage; k passed as 0 below
-	c := New(4, 8)
+	c := New(4, 16)
 	c.Fill(7)
-	bk := New(1, 8)
-	sgemm8cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
-	sgemm4cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
+	bk := New(1, 16)
+	sgemm8cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 16)
+	sgemm4cols(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 16)
 	if hasAVX2() {
-		sgemm8colsAVX2(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 8)
+		sgemm8colsAVX2(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 16)
+	}
+	if hasAVX512() {
+		sgemm16colsAVX512(&a.Data()[0], &bk.Data()[0], &c.Data()[0], 4, 0, 16)
 	}
 	for i, v := range c.Data() {
 		if v != 7 {

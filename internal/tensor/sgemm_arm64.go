@@ -1,0 +1,24 @@
+//go:build arm64 && !noasm
+
+package tensor
+
+// Kernel selection for the k-major SGEMM on arm64. NEON (AdvSIMD) is part
+// of the arm64 baseline, so the 4-wide lane kernel is always available and
+// no runtime probe is needed: init selects it unconditionally. With only
+// lanes4 assigned, the driver tiles the product into 4-column blocks
+// (matMulKMajorSerial skips the 8-wide generic path when a native 4-wide
+// kernel exists), keeping every block on SIMD.
+//
+// The kernel keeps multiply and add as separate instructions — FMUL then
+// FADD, never the fused FMLA — so each lane performs the same two float32
+// roundings per k step as the amd64 and pure-Go rungs: results are
+// bit-identical across every ladder rung. Build with -tags noasm to fall
+// back to the pure-Go lane kernel.
+
+//go:noescape
+func sgemmNeon4cols(a, bk, c *float32, m, k, n int)
+
+func init() {
+	lanes4 = sgemmNeon4cols
+	kmajorKernelName = "neon"
+}

@@ -1,0 +1,128 @@
+//go:build arm64 && !noasm
+
+#include "textflag.h"
+
+// NEON 4-wide lane kernel for the k-major SGEMM. Each SIMD lane owns one
+// output element and accumulates a[i][l]·bk[l][j] in strictly ascending l
+// with a separate FMUL/FADD rounding per step, so results are bit-identical
+// to the scalar and amd64 kernels. Rows run in blocks of 4 with a
+// single-row tail, so any m ≥ 1 is handled entirely in assembly (m = 1 is
+// the gemv shape of the single-frame Linear forward).
+//
+// The Go assembler has no mnemonics for the unfused vector FMUL/FADD
+// (only the fused VFMLA, which performs a single rounding and would break
+// the bit-identity contract), so those two instructions are emitted as
+// WORD directives with fixed registers:
+//
+//	WORD $0x6E28DD4B  =  FMUL V11.4S, V10.4S, V8.4S   (V11 = V10 * V8)
+//	WORD $0x4E2BD400  =  FADD V0.4S,  V0.4S,  V11.4S  (V0  += V11)
+//	WORD $0x4E2BD421  =  FADD V1.4S,  V1.4S,  V11.4S
+//	WORD $0x4E2BD442  =  FADD V2.4S,  V2.4S,  V11.4S
+//	WORD $0x4E2BD463  =  FADD V3.4S,  V3.4S,  V11.4S
+//
+// (FMUL vector: 0x6E20DC00 | m<<16 | n<<5 | d; FADD vector:
+// 0x4E20D400 | m<<16 | n<<5 | d — encodings verified by disassembly.)
+
+// func sgemmNeon4cols(a, bk, c *float32, m, k, n int)
+//
+// c[i][0:4] = sum over l of a[i][l] * bk[l][0:4] for i in [0,m).
+//
+// Register layout:
+//   R0 a row-block base        R1 bk base          R2 c row-block base
+//   R3 remaining rows          R4 k
+//   R5 bk/c row stride (n*4)   R6 a row stride (k*4)
+//   R7-R10 the four current a row pointers
+//   R11 current bk row pointer R12 l countdown     R13 c store pointer
+//   V0-V3 accumulators (one per row)
+//   V8 bk row                  V10 broadcast a     V11 product scratch
+TEXT ·sgemmNeon4cols(SB), NOSPLIT, $0-48
+	MOVD a+0(FP), R0
+	MOVD bk+8(FP), R1
+	MOVD c+16(FP), R2
+	MOVD m+24(FP), R3
+	MOVD k+32(FP), R4
+	MOVD n+40(FP), R5
+	LSL  $2, R5, R5        // n*4: bk and c row stride in bytes
+	LSL  $2, R4, R6        // k*4: a row stride in bytes
+	CBZ  R4, ndone4
+
+nrows4:
+	CMP  $4, R3
+	BLT  ntail4
+	VEOR V0.B16, V0.B16, V0.B16
+	VEOR V1.B16, V1.B16, V1.B16
+	VEOR V2.B16, V2.B16, V2.B16
+	VEOR V3.B16, V3.B16, V3.B16
+	MOVD R0, R7            // a row 0
+	ADD  R6, R7, R8        // a row 1
+	ADD  R6<<1, R7, R9     // a row 2
+	ADD  R6<<1, R8, R10    // a row 3
+	MOVD R1, R11           // bk row 0
+	MOVD R4, R12
+
+nl4:
+	VLD1  (R11), [V8.S4]   // bk[l][0:4]
+
+	VLD1R (R7), [V10.S4]   // broadcast a[i+0][l]
+	WORD  $0x6E28DD4B      // FMUL V11.4S, V10.4S, V8.4S
+	WORD  $0x4E2BD400      // FADD V0.4S, V0.4S, V11.4S
+
+	VLD1R (R8), [V10.S4]
+	WORD  $0x6E28DD4B
+	WORD  $0x4E2BD421      // FADD V1.4S, V1.4S, V11.4S
+
+	VLD1R (R9), [V10.S4]
+	WORD  $0x6E28DD4B
+	WORD  $0x4E2BD442      // FADD V2.4S, V2.4S, V11.4S
+
+	VLD1R (R10), [V10.S4]
+	WORD  $0x6E28DD4B
+	WORD  $0x4E2BD463      // FADD V3.4S, V3.4S, V11.4S
+
+	ADD  $4, R7
+	ADD  $4, R8
+	ADD  $4, R9
+	ADD  $4, R10
+	ADD  R5, R11
+	SUBS $1, R12, R12
+	BNE  nl4
+
+	MOVD R2, R13
+	VST1 [V0.S4], (R13)
+	ADD  R5, R13
+	VST1 [V1.S4], (R13)
+	ADD  R5, R13
+	VST1 [V2.S4], (R13)
+	ADD  R5, R13
+	VST1 [V3.S4], (R13)
+
+	ADD  R6<<2, R0, R0     // advance a four rows
+	ADD  R5<<2, R2, R2     // advance c four rows
+	SUB  $4, R3, R3
+	B    nrows4
+
+ntail4:
+	CBZ  R3, ndone4
+	VEOR V0.B16, V0.B16, V0.B16
+	MOVD R0, R7
+	MOVD R1, R11
+	MOVD R4, R12
+
+nt4l:
+	VLD1  (R11), [V8.S4]
+	VLD1R (R7), [V10.S4]
+	WORD  $0x6E28DD4B      // FMUL V11.4S, V10.4S, V8.4S
+	WORD  $0x4E2BD400      // FADD V0.4S, V0.4S, V11.4S
+	ADD  $4, R7
+	ADD  R5, R11
+	SUBS $1, R12, R12
+	BNE  nt4l
+
+	VST1 [V0.S4], (R2)
+	ADD  R6, R0, R0
+	ADD  R5, R2, R2
+	SUB  $1, R3, R3
+	B    ntail4
+
+ndone4:
+	RET

@@ -2,6 +2,10 @@
 
 package tensor
 
-// compileTimeAVX2 is false below GOAMD64=v3: AVX2 is probed at init via
-// CPUID instead (see hasAVX2).
-const compileTimeAVX2 = false
+// compileTimeAVX2 and compileTimeAVX512 are false below GOAMD64=v3: both
+// feature levels are probed at init via CPUID instead (see hasAVX2 and
+// hasAVX512).
+const (
+	compileTimeAVX2   = false
+	compileTimeAVX512 = false
+)

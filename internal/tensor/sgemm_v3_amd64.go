@@ -1,8 +1,12 @@
-//go:build amd64.v3 && !noasm
+//go:build amd64.v3 && !amd64.v4 && !noasm
 
 package tensor
 
-// compileTimeAVX2 is true when the binary is compiled with GOAMD64=v3 or
-// higher: the v3 microarchitecture level guarantees AVX2, so the runtime
-// CPUID probe is skipped entirely.
-const compileTimeAVX2 = true
+// compileTimeAVX2 is true when the binary is compiled with GOAMD64=v3: the
+// v3 microarchitecture level guarantees AVX2, so the runtime CPUID probe
+// for it is skipped entirely. AVX-512 is not part of v3 and is still
+// probed at init (see hasAVX512).
+const (
+	compileTimeAVX2   = true
+	compileTimeAVX512 = false
+)
