@@ -25,7 +25,8 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.String("workers", "pool:2", "comma-separated worker fleet: pool:N (in-process), exec[:BIN] (subprocess advrepro run), http://host:port (serve daemon)")
 	shards := fs.Int("shards", 0, "grid decomposition width (0 = one shard per worker)")
 	checkpoints := fs.String("checkpoints", ".dispatch", "directory for per-shard JSONL lane files")
-	resume := fs.Bool("resume", false, "recover a crashed dispatch session from its lane files")
+	transport := fs.String("transport", "fs", "checkpoint transport: fs (local only), mirror:DIR (per-record replica tree), store:DIR|URL (object-store segments, local dir or serve daemon)")
+	resume := fs.Bool("resume", false, "recover a crashed dispatch session from its lane files (or their transport replica)")
 	heartbeat := fs.Duration("heartbeat", 2*time.Minute, "per-attempt liveness timeout (no event for this long = presumed hung)")
 	retries := fs.Int("retries", 4, "max dispatch attempts per shard")
 	hedgeAfter := fs.Float64("hedge-after", 0.5, "completed-shard fraction that arms straggler hedging (>=1 disables)")
@@ -33,6 +34,7 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	strikes := fs.Int("strikes", 2, "failed attempts before a worker is quarantined")
 	artifacts := fs.String("artifacts", "", "trained-model artifact directory (pool/exec workers)")
 	inject := fs.String("inject", "", "fault-injection directives, fault:worker[@N] (kill|hang|dial|dup|torn) — testing only")
+	injectStore := fs.String("injectstore", "", "store-fault directives, fault[:N] (outage|torn|dup) — store transport only, testing only")
 	progress := fs.Bool("progress", false, "stream per-cell progress lines to stdout")
 	csvPath := fs.String("csv", "", "optional file for the merged CSV grid")
 	mdPath := fs.String("md", "", "optional file for the merged markdown grid")
@@ -57,6 +59,20 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ckpt, err := dispatch.ParseCheckpointTransport(*transport)
+	if err != nil {
+		return err
+	}
+	if *injectStore != "" {
+		injs, err := dispatch.ParseStoreInjections(*injectStore)
+		if err != nil {
+			return err
+		}
+		if err := dispatch.ApplyStoreInjections(ckpt, injs); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "dispatch: store fault injection armed: %s\n", *injectStore)
+	}
 	logf := func(format string, a ...any) {}
 	if *verbose {
 		logf = func(format string, a ...any) { log.Printf(format, a...) }
@@ -66,6 +82,7 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	fleet, err := buildWorkers(ctx, wspecs, workerBuildConfig{
 		preset: spec.Preset, artifacts: *artifacts,
 		reconnects: *reconnects, verbose: *verbose, logf: logf,
+		ckpt: ckpt,
 	})
 	if err != nil {
 		return err
@@ -84,7 +101,8 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg := dispatch.Config{
 		Spec: spec, Workers: fleet,
 		NumShards: *shards, Dir: *checkpoints, Resume: *resume,
-		Heartbeat: *heartbeat, MaxAttempts: *retries,
+		Checkpoints: ckpt,
+		Heartbeat:   *heartbeat, MaxAttempts: *retries,
 		HedgeAfter: *hedgeAfter, HedgeFactor: *hedgeFactor,
 		MaxStrikes: *strikes, Logf: logf,
 	}
@@ -92,8 +110,8 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 		cfg.Observer = &exp.ProgressPrinter{W: stdout}
 	}
 
-	fmt.Fprintf(stdout, "== advrepro dispatch: spec=%s kind=%s workers=%d shards=%d checkpoints=%s ==\n",
-		*specPath, spec.Kind, len(fleet), cfg.NumShards, *checkpoints)
+	fmt.Fprintf(stdout, "== advrepro dispatch: spec=%s kind=%s workers=%d shards=%d checkpoints=%s transport=%s ==\n",
+		*specPath, spec.Kind, len(fleet), cfg.NumShards, *checkpoints, ckpt)
 	rep, err := dispatch.Run(ctx, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -107,9 +125,9 @@ func runDispatch(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(rep.Quarantined) > 0 {
 		quarantined = strings.Join(rep.Quarantined, ",")
 	}
-	fmt.Fprintf(stdout, "dispatch: %d cells over %d shards in %v (%d resumed, %d retries, %d hedges, quarantined: %s)\n",
+	fmt.Fprintf(stdout, "dispatch: %d cells over %d shards in %v (%d resumed, %d fetched via %s, %d retries, %d hedges, quarantined: %s)\n",
 		len(rep.Matrix.Cells), rep.Shards, time.Since(start).Round(time.Second),
-		rep.Resumed, rep.Retries, rep.Hedges, quarantined)
+		rep.Resumed, rep.Fetched, rep.Transport, rep.Retries, rep.Hedges, quarantined)
 	return writeOutputs(rep.Text, *csvPath, *mdPath, *out, &exp.Result{Matrix: &rep.Matrix})
 }
 
@@ -176,6 +194,7 @@ type workerBuildConfig struct {
 	reconnects int
 	verbose    bool
 	logf       func(format string, a ...any)
+	ckpt       dispatch.CheckpointTransport
 }
 
 // buildWorkers materialises a parsed fleet: pool entries share ONE
@@ -215,7 +234,7 @@ func buildWorkers(ctx context.Context, specs []workerSpec, bc workerBuildConfig)
 			}
 			fleet = append(fleet, dispatch.Worker{
 				Name:      fmt.Sprintf("exec%d", len(fleet)),
-				Transport: &dispatch.ExecTransport{Binary: ws.value, Args: args},
+				Transport: &dispatch.ExecTransport{Binary: ws.value, Args: args, Checkpoints: bc.ckpt},
 			})
 		case "http":
 			fleet = append(fleet, dispatch.Worker{

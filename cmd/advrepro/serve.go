@@ -26,16 +26,32 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 0, "cap each runner's worker pool (0 = GOMAXPROCS)")
 	maxRuns := fs.Int("maxruns", 0, "bound concurrent computations; extra new runs get 503 + Retry-After (0 = unbounded)")
 	warm := fs.String("warm", "", "comma-separated presets to build before accepting traffic")
+	cacheDir := fs.String("cachedir", "", "disk-backed result cache directory (persists across daemon restarts; empty = in-memory)")
+	storeDir := fs.String("storedir", "", "object-store directory backing /store (lane checkpoint segments; empty = in-memory)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := serve.New(ctx, serve.Config{
+	logf := func(format string, a ...any) { log.Printf(format, a...) }
+	cfg := serve.Config{
 		ArtifactDir: *artifacts,
 		Workers:     *workers,
 		MaxRuns:     *maxRuns,
-		Logf:        func(format string, a ...any) { log.Printf(format, a...) },
-	})
+		Logf:        logf,
+	}
+	if *cacheDir != "" {
+		dc, err := serve.NewDiskCache(*cacheDir, logf)
+		if err != nil {
+			return err
+		}
+		log.Printf("serve: disk cache at %s (%d entries)", *cacheDir, dc.Len())
+		cfg.Cache = dc
+	}
+	if *storeDir != "" {
+		cfg.Store = serve.NewDirStore(*storeDir)
+		log.Printf("serve: object store at %s", *storeDir)
+	}
+	srv := serve.New(ctx, cfg)
 	for _, preset := range splitNames(*warm) {
 		log.Printf("serve: warming %s runner", preset)
 		if err := srv.Warm(ctx, preset); err != nil {

@@ -51,8 +51,15 @@ type Config struct {
 	Dir string
 	// Resume recovers a crashed dispatch session: surviving lane files
 	// are validated against the grid and their cells are not re-run.
-	// Without it, stale lane files are removed first.
+	// Without it, stale lane files are removed first. With a checkpoint
+	// transport configured, lanes surviving only in the replica are
+	// reconstructed locally first — resume works even when Dir is empty.
 	Resume bool
+	// Checkpoints is the lane durability backend (nil = FSTransport:
+	// local files only). Every observed cell record is also published
+	// through it, and lanes reconcile with the replica at resume and
+	// merge time.
+	Checkpoints CheckpointTransport
 	// Heartbeat is the per-attempt liveness timeout: an attempt that
 	// emits no event for this long is presumed hung, killed, and its
 	// shard re-dispatched (default 2m).
@@ -96,10 +103,12 @@ type Report struct {
 
 	Shards      int      // shard count the grid was decomposed into
 	Resumed     int      // cells recovered from lane files at startup
+	Fetched     int      // cells recovered from the checkpoint replica
 	Retries     int      // failed attempts that were re-dispatched
 	Hedges      int      // straggler hedges launched
 	Quarantined []string // workers benched for repeat failures
 	Files       []string // lane files that contributed cells to the merge
+	Transport   string   // checkpoint transport the lanes replicated through
 }
 
 func (c *Config) withDefaults() Config {
@@ -130,6 +139,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.Checkpoints == nil {
+		cfg.Checkpoints = &FSTransport{}
 	}
 	return cfg
 }
@@ -189,6 +201,7 @@ type dispatcher struct {
 	workers []*workerState
 	retries int
 	hedges  int
+	fetched int
 	rng     *xrand.RNG
 }
 
@@ -220,6 +233,9 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	}
 	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dispatch: lane dir: %w", err)
+	}
+	if err := cfg.Checkpoints.Bind(spec, meta); err != nil {
+		return nil, err
 	}
 
 	d := &dispatcher{
@@ -272,15 +288,19 @@ func Run(ctx context.Context, c Config) (*Report, error) {
 	}
 	return &Report{
 		Matrix: rep, Text: rep.Format(), CSV: rep.CSV(),
-		Shards: cfg.NumShards, Resumed: resumed,
+		Shards: cfg.NumShards, Resumed: resumed, Fetched: d.fetched,
 		Retries: d.retries, Hedges: d.hedges,
 		Quarantined: quarantined, Files: files,
+		Transport: cfg.Checkpoints.String(),
 	}, nil
 }
 
-// recoverLanes scans lane files before dispatching: with Resume, their
-// cells are validated, prefilled, and fully-covered shards are marked
-// complete; without, stale lanes are deleted so the run starts clean.
+// recoverLanes scans lane files before dispatching: with Resume, each
+// lane first reconciles with its checkpoint replica (so lanes surviving
+// only off-machine are rebuilt locally), then its cells are validated,
+// prefilled, and fully-covered shards are marked complete; without
+// Resume, stale lanes are deleted — local file AND replica — so the run
+// starts clean.
 func (d *dispatcher) recoverLanes() (int, error) {
 	if !d.cfg.Resume {
 		for _, s := range d.shards {
@@ -288,13 +308,26 @@ func (d *dispatcher) recoverLanes() (int, error) {
 				if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
 					return 0, fmt.Errorf("dispatch: clear lane %s: %w", p, err)
 				}
+				if err := d.cfg.Checkpoints.Clear(filepath.Base(p)); err != nil {
+					return 0, fmt.Errorf("dispatch: clear replica lane %s: %w", filepath.Base(p), err)
+				}
 			}
 		}
 		return 0, nil
 	}
+	if lanes, err := d.cfg.Checkpoints.List(); err != nil {
+		return 0, fmt.Errorf("dispatch: resume: %w", err)
+	} else if len(lanes) > 0 {
+		d.logf("dispatch: %s replica holds %d lane(s)", d.cfg.Checkpoints, len(lanes))
+	}
 	resumed := 0
 	for _, s := range d.shards {
 		for _, p := range []string{s.lane, s.hedgeLn} {
+			fetched, err := syncLane(d.cfg.Checkpoints, filepath.Base(p), p, d.meta)
+			if err != nil {
+				return 0, fmt.Errorf("dispatch: resume: %w", err)
+			}
+			d.fetched += fetched
 			done, _, err := eval.LoadSweepCheckpoint(p, d.meta.ids, d.meta.preset, d.meta.duration, d.meta.dt)
 			if err != nil {
 				return 0, fmt.Errorf("dispatch: resume: %w", err)
@@ -315,7 +348,8 @@ func (d *dispatcher) recoverLanes() (int, error) {
 		}
 	}
 	if resumed > 0 {
-		d.logf("dispatch: resumed %d cells from %s", resumed, d.cfg.Dir)
+		d.logf("dispatch: resumed %d cells from %s (%d fetched from the %s replica)",
+			resumed, d.cfg.Dir, d.fetched, d.cfg.Checkpoints)
 	}
 	return resumed, nil
 }
@@ -604,7 +638,21 @@ func (d *dispatcher) onEvent(a *attempt, ev eval.Event) {
 			Kind: eval.EventCellDone, Total: len(d.meta.ids), Done: d.fresh,
 			Cell: d.meta.ids[idx], Result: ev.Result,
 		}
+		lane := a.shard.lane
+		if a.hedge {
+			lane = a.shard.hedgeLn
+		}
 		d.mu.Unlock()
+		// Replicate outside the lock: the store transport may sleep
+		// through a retry window, and the other workers' events must
+		// keep flowing while it does.
+		if err := d.cfg.Checkpoints.Publish(filepath.Base(lane), laneRecord(d.meta, idx, *ev.Result)); err != nil {
+			d.mu.Lock()
+			if d.fatal == nil {
+				d.fatal = err
+			}
+			d.mu.Unlock()
+		}
 		d.observe(out)
 		return
 	case eval.EventCellStart, eval.EventLog:
@@ -717,11 +765,22 @@ func (d *dispatcher) backoff(attempts int) time.Duration {
 }
 
 // merge joins every contributing lane file through the MergeSweeps
-// coverage/seed verification into the final grid.
+// coverage/seed verification into the final grid. Each lane first
+// reconciles with the checkpoint replica — replica-only records (a
+// worker whose local writes were lost) land in the local file, local-
+// only records publish out, and a final Sync makes the replica durable.
 func (d *dispatcher) merge() (eval.MatrixReport, []string, error) {
 	var files []string
 	for _, s := range d.shards {
 		for _, p := range []string{s.lane, s.hedgeLn} {
+			fetched, err := syncLane(d.cfg.Checkpoints, filepath.Base(p), p, d.meta)
+			if err != nil {
+				return eval.MatrixReport{}, nil, fmt.Errorf("dispatch: merge: %w", err)
+			}
+			d.fetched += fetched
+			if err := d.cfg.Checkpoints.Sync(filepath.Base(p)); err != nil {
+				return eval.MatrixReport{}, nil, fmt.Errorf("dispatch: merge: %w", err)
+			}
 			done, _, err := eval.LoadSweepCheckpoint(p, d.meta.ids, d.meta.preset, d.meta.duration, d.meta.dt)
 			if err != nil {
 				return eval.MatrixReport{}, nil, fmt.Errorf("dispatch: probe lane: %w", err)

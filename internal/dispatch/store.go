@@ -1,0 +1,342 @@
+package dispatch
+
+// StoreTransport: lane durability over a content-addressed object store.
+// Published records buffer into chunked segments and upload under
+// lanes/<grid-hash>/<lane>/seg_N, where <grid-hash> is the canonical
+// spec hash of the dispatched grid (shard selection stripped) — so every
+// lane of one dispatch shares a prefix, a different grid can never
+// collide with it, and a stale replica is structurally invisible before
+// it is even validated. Every store operation runs under capped jittered
+// retry, so a transiently unavailable store (daemon restart, network
+// blip) delays the sweep instead of failing it; a store that stays down
+// past the budget surfaces as an error, never as silent data loss.
+//
+// Fetching reassembles segments in order, tolerating the faults an
+// at-least-once uploader produces: a torn segment (partial upload that
+// reported success) contributes its valid prefix and costs only the
+// damaged records' recomputation; duplicate segment delivery
+// deduplicates by grid index; records from a different run configuration
+// under our prefix are rejected loudly.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/eval"
+	"repro/internal/exp"
+	"repro/internal/serve"
+	"repro/internal/xrand"
+)
+
+// StoreTransport is the object-store CheckpointTransport.
+type StoreTransport struct {
+	// Store is the blob backend (serve.DirStore, serve.HTTPStore, or a
+	// fault-injection wrapper around either).
+	Store serve.ObjectStore
+	// SegmentBytes is the upload threshold: a lane's buffered records
+	// flush as one segment object once they reach this size (default
+	// 64 KiB). Sync flushes regardless.
+	SegmentBytes int
+	// Retries bounds attempts per store operation (default 4).
+	Retries int
+	// RetryBase/RetryMax shape the capped exponential retry backoff
+	// (defaults 50ms / 2s); jitter of ±50% is applied.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Seed feeds the retry jitter (default 1); timing only.
+	Seed int64
+	// Logf narrates retries (nil = silent).
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	meta   gridMeta
+	prefix string
+	rng    *xrand.RNG
+	lanes  map[string]*storeLane
+}
+
+// storeLane is the upload state of one lane.
+type storeLane struct {
+	buf     bytes.Buffer
+	seen    map[int]bool
+	nextSeg int
+}
+
+// String implements CheckpointTransport.
+func (t *StoreTransport) String() string { return "store" }
+
+// Bind implements CheckpointTransport: derives the dispatch's
+// content-address prefix from the grid spec.
+func (t *StoreTransport) Bind(spec exp.Spec, meta gridMeta) error {
+	if t.Store == nil {
+		return fmt.Errorf("dispatch: store transport needs an object store")
+	}
+	grid := spec
+	grid.Sweep = nil // the prefix addresses the GRID; lanes carry the shards
+	hash, err := exp.SpecHash(grid)
+	if err != nil {
+		return fmt.Errorf("dispatch: store transport: %w", err)
+	}
+	t.mu.Lock()
+	t.meta = meta
+	t.prefix = "lanes/" + hash + "/"
+	if t.SegmentBytes <= 0 {
+		t.SegmentBytes = 64 << 10
+	}
+	if t.Retries <= 0 {
+		t.Retries = 4
+	}
+	if t.RetryBase <= 0 {
+		t.RetryBase = 50 * time.Millisecond
+	}
+	if t.RetryMax <= 0 {
+		t.RetryMax = 2 * time.Second
+	}
+	seed := t.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	t.rng = xrand.New(seed)
+	t.lanes = map[string]*storeLane{}
+	t.mu.Unlock()
+	return nil
+}
+
+// segKey names one segment object.
+func (t *StoreTransport) segKey(lane string, seg int) string {
+	return fmt.Sprintf("%s%s/seg_%06d", t.prefix, lane, seg)
+}
+
+// withRetryLocked runs one store operation under capped jittered
+// exponential backoff. Callers hold t.mu; the sleep intentionally holds
+// it too — during an outage every publisher is blocked on the same store
+// anyway, and serialising them keeps segment numbering coherent.
+func (t *StoreTransport) withRetryLocked(op string, f func() error) error {
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = f(); err == nil {
+			return nil
+		}
+		if attempt >= t.Retries {
+			return fmt.Errorf("dispatch: store %s failed after %d attempts: %w", op, attempt, err)
+		}
+		delay := t.RetryBase
+		for i := 1; i < attempt && delay < t.RetryMax; i++ {
+			delay *= 2
+		}
+		if delay > t.RetryMax {
+			delay = t.RetryMax
+		}
+		delay = time.Duration(float64(delay) * (0.5 + 0.5*t.rng.Float64()))
+		if t.Logf != nil {
+			t.Logf("dispatch: store %s attempt %d failed (%v); retrying in %v", op, attempt, err, delay.Round(time.Millisecond))
+		}
+		time.Sleep(delay)
+	}
+}
+
+// fetchLaneLocked reads and validates every stored segment of a lane,
+// returning the deduplicated records and the highest segment number seen
+// (-1 when the lane has no segments).
+func (t *StoreTransport) fetchLaneLocked(lane string) (map[int]eval.MatrixCell, int, error) {
+	var keys []string
+	err := t.withRetryLocked("list", func() error {
+		var lerr error
+		keys, lerr = t.Store.List(t.prefix + lane + "/")
+		return lerr
+	})
+	if err != nil {
+		return nil, -1, err
+	}
+	segs := make([]int, 0, len(keys))
+	byNum := map[int]string{}
+	for _, key := range keys {
+		base := key[strings.LastIndexByte(key, '/')+1:]
+		numStr, ok := strings.CutPrefix(base, "seg_")
+		if !ok {
+			continue
+		}
+		n, err := strconv.Atoi(numStr)
+		if err != nil {
+			continue
+		}
+		// Duplicate delivery can land one segment number twice under
+		// at-least-once semantics; the map keeps one key, and the record
+		// dedup below absorbs the rest.
+		if _, dup := byNum[n]; !dup {
+			segs = append(segs, n)
+			byNum[n] = key
+		}
+	}
+	sort.Ints(segs)
+
+	recs := map[int]eval.MatrixCell{}
+	maxSeg := -1
+	for _, n := range segs {
+		key := byNum[n]
+		var data []byte
+		err := t.withRetryLocked("get "+key, func() error {
+			var gerr error
+			data, gerr = t.Store.Get(key)
+			return gerr
+		})
+		if err != nil {
+			return nil, -1, err
+		}
+		// LoadSweepCheckpointBytes gives exactly the semantics a remote
+		// segment needs: grid validation per record, hard rejection of
+		// stale content, and a torn (partially uploaded) tail degrading
+		// to the valid prefix instead of an error.
+		done, _, err := eval.LoadSweepCheckpointBytes(data, t.meta.ids, t.meta.preset, t.meta.duration, t.meta.dt)
+		if err != nil {
+			return nil, -1, fmt.Errorf("dispatch: store segment %s: %w", key, err)
+		}
+		for idx, cell := range done {
+			if prev, dup := recs[idx]; dup {
+				if !reflect.DeepEqual(prev, cell) {
+					return nil, -1, fmt.Errorf("dispatch: store lane %s cell %d differs between segments — replicas from diverging runs?", lane, idx)
+				}
+				continue
+			}
+			recs[idx] = cell
+		}
+		maxSeg = n
+	}
+	return recs, maxSeg, nil
+}
+
+// laneLocked returns the upload state of a lane, discovering existing
+// segments (a resumed dispatch continues numbering after them and never
+// re-publishes records they hold).
+func (t *StoreTransport) laneLocked(lane string) (*storeLane, error) {
+	if l, ok := t.lanes[lane]; ok {
+		return l, nil
+	}
+	recs, maxSeg, err := t.fetchLaneLocked(lane)
+	if err != nil {
+		return nil, err
+	}
+	l := &storeLane{seen: make(map[int]bool, len(recs)), nextSeg: maxSeg + 1}
+	for idx := range recs {
+		l.seen[idx] = true
+	}
+	t.lanes[lane] = l
+	return l, nil
+}
+
+// flushLocked uploads a lane's buffered records as the next segment.
+func (t *StoreTransport) flushLocked(lane string, l *storeLane) error {
+	if l.buf.Len() == 0 {
+		return nil
+	}
+	key := t.segKey(lane, l.nextSeg)
+	data := append([]byte(nil), l.buf.Bytes()...)
+	if err := t.withRetryLocked("put "+key, func() error { return t.Store.Put(key, data) }); err != nil {
+		return err
+	}
+	l.nextSeg++
+	l.buf.Reset()
+	return nil
+}
+
+// Publish implements CheckpointTransport.
+func (t *StoreTransport) Publish(lane string, rec eval.SweepRecord) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, err := t.laneLocked(lane)
+	if err != nil {
+		return err
+	}
+	if l.seen[rec.Index] {
+		return nil
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("dispatch: store lane %s: %w", lane, err)
+	}
+	l.buf.Write(line)
+	l.buf.WriteByte('\n')
+	l.seen[rec.Index] = true
+	if l.buf.Len() >= t.SegmentBytes {
+		return t.flushLocked(lane, l)
+	}
+	return nil
+}
+
+// Sync implements CheckpointTransport.
+func (t *StoreTransport) Sync(lane string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, ok := t.lanes[lane]
+	if !ok {
+		return nil // nothing buffered, nothing to flush
+	}
+	return t.flushLocked(lane, l)
+}
+
+// Clear implements CheckpointTransport.
+func (t *StoreTransport) Clear(lane string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.lanes, lane)
+	var keys []string
+	err := t.withRetryLocked("list", func() error {
+		var lerr error
+		keys, lerr = t.Store.List(t.prefix + lane + "/")
+		return lerr
+	})
+	if err != nil {
+		return err
+	}
+	for _, key := range keys {
+		k := key
+		if err := t.withRetryLocked("delete "+k, func() error { return t.Store.Delete(k) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List implements CheckpointTransport.
+func (t *StoreTransport) List() ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var keys []string
+	err := t.withRetryLocked("list", func() error {
+		var lerr error
+		keys, lerr = t.Store.List(t.prefix)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	var lanes []string
+	for _, key := range keys {
+		rest := strings.TrimPrefix(key, t.prefix)
+		lane, _, ok := strings.Cut(rest, "/")
+		if ok && !seen[lane] {
+			seen[lane] = true
+			lanes = append(lanes, lane)
+		}
+	}
+	sort.Strings(lanes)
+	return lanes, nil
+}
+
+// Load implements CheckpointTransport. Only durable (uploaded) records
+// are returned; records still buffered for the next segment are by
+// definition also in the local lane file the caller reconciles against.
+func (t *StoreTransport) Load(lane string) (map[int]eval.MatrixCell, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs, _, err := t.fetchLaneLocked(lane)
+	return recs, err
+}

@@ -89,7 +89,10 @@ func (t *PoolTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observe
 // process — crash isolation without a daemon. The child writes the lane
 // file; liveness is observed by tailing it: every Poll interval the
 // checkpoint is re-read and newly appeared records are emitted as
-// cell-done events.
+// cell-done events. When a checkpoint transport is configured, the poll
+// reads the union of the local tail and the replica (laneProgress), so a
+// child streaming its results off-machine is not declared hung while it
+// is making progress the local file has not yet caught up with.
 type ExecTransport struct {
 	// Binary is the advrepro executable (empty = os.Executable()).
 	Binary string
@@ -97,6 +100,9 @@ type ExecTransport struct {
 	Args []string
 	// Poll is the lane-tail interval (default 200ms).
 	Poll time.Duration
+	// Checkpoints, when set, widens the liveness poll to include the
+	// replica of the lane (same transport instance the dispatcher binds).
+	Checkpoints CheckpointTransport
 }
 
 // Run implements Transport.
@@ -144,10 +150,10 @@ func (t *ExecTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observe
 	}
 	seen := map[int]bool{}
 	emitNew := func() {
-		done, _, err := eval.LoadSweepCheckpoint(lane, meta.ids, meta.preset, meta.duration, meta.dt)
-		if err != nil {
-			return // a torn tail mid-poll is normal; the final load decides
-		}
+		// laneProgress tolerates a torn tail mid-poll (normal while the
+		// child is writing; the final load decides) and folds in replica
+		// records the local file lacks.
+		done := laneProgress(lane, meta, t.Checkpoints)
 		for idx, cell := range done {
 			if seen[idx] {
 				continue

@@ -443,7 +443,20 @@ func LoadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt 
 	if err != nil {
 		return nil, 0, fmt.Errorf("sweep: open checkpoint: %w", err)
 	}
+	return loadSweepCheckpointBuf(buf, path, ids, preset, duration, dt)
+}
 
+// LoadSweepCheckpointBytes is LoadSweepCheckpoint over an in-memory
+// stream: the same validation and torn-tail tolerance, applied to
+// checkpoint bytes fetched from somewhere other than a local file — a
+// mirror tree, an object-store segment, a wire payload. This is what lets
+// checkpoint transports validate remote lane content before merging it
+// into local state.
+func LoadSweepCheckpointBytes(buf []byte, ids []CellID, preset string, duration, dt float64) (map[int]MatrixCell, int64, error) {
+	return loadSweepCheckpointBuf(buf, "stream", ids, preset, duration, dt)
+}
+
+func loadSweepCheckpointBuf(buf []byte, name string, ids []CellID, preset string, duration, dt float64) (map[int]MatrixCell, int64, error) {
 	done := map[int]MatrixCell{}
 	validLen := int64(0)
 	lineNo := 0
@@ -464,10 +477,10 @@ func LoadSweepCheckpoint(path string, ids []CellID, preset string, duration, dt 
 					// here; the valid prefix ends at the previous line.
 					break
 				}
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", name, lineNo, err)
 			}
 			if err := rec.Validate(ids, preset, duration, dt); err != nil {
-				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", path, lineNo, err)
+				return nil, 0, fmt.Errorf("sweep: checkpoint %s line %d: %w", name, lineNo, err)
 			}
 			if terminated {
 				// An unterminated record — even one that parses — is not

@@ -39,6 +39,11 @@ type Config struct {
 	// bound is refused with 503 + Retry-After; joining an existing
 	// flight and cache hits are always served — they add no compute.
 	MaxRuns int
+	// Store backs the /store object endpoints the fleet dispatcher's
+	// store checkpoint transport streams lane segments into. Nil selects
+	// an in-memory store; point it at a DirStore for durability across
+	// daemon restarts.
+	Store ObjectStore
 	// Logf receives server lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 	// NewRunner overrides the runner factory (tests); nil builds real
@@ -54,6 +59,7 @@ type Server struct {
 	ctx   context.Context
 	cfg   Config
 	cache exp.ResultCache
+	store ObjectStore
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -70,6 +76,9 @@ func New(ctx context.Context, cfg Config) *Server {
 	if cfg.Cache == nil {
 		cfg.Cache = exp.NewMemoryCache()
 	}
+	if cfg.Store == nil {
+		cfg.Store = NewMemStore()
+	}
 	if cfg.NewRunner == nil {
 		cfg.NewRunner = experimentFactory(cfg)
 	}
@@ -77,6 +86,7 @@ func New(ctx context.Context, cfg Config) *Server {
 		ctx:     ctx,
 		cfg:     cfg,
 		cache:   cfg.Cache,
+		store:   cfg.Store,
 		flights: map[string]*flight{},
 		runners: map[string]*runnerFuture{},
 	}
@@ -126,6 +136,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /validate", s.handleValidate)
 	mux.HandleFunc("GET /results/{key}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("PUT /store/{key...}", s.handleStorePut)
+	mux.HandleFunc("GET /store/{key...}", s.handleStoreGet)
+	mux.HandleFunc("DELETE /store/{key...}", s.handleStoreDelete)
+	mux.HandleFunc("GET /storelist", s.handleStoreList)
 	return mux
 }
 
@@ -351,6 +365,74 @@ func (s *Server) runner(ctx context.Context, preset string, sink func(format str
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+}
+
+// handleStorePut stores one object under a validated key — a lane
+// segment streamed off-machine by the dispatcher's store transport.
+func (s *Server) handleStorePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !ValidStoreKey(key) {
+		http.Error(w, fmt.Sprintf("bad object key %q", key), http.StatusBadRequest)
+		return
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 32<<20))
+	if err != nil {
+		http.Error(w, fmt.Sprintf("read object: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Put(key, data); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStoreGet serves one stored object.
+func (s *Server) handleStoreGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !ValidStoreKey(key) {
+		http.Error(w, fmt.Sprintf("bad object key %q", key), http.StatusBadRequest)
+		return
+	}
+	data, err := s.store.Get(key)
+	if err != nil {
+		if err == ErrNoObject {
+			http.Error(w, "no such object", http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data)
+}
+
+// handleStoreDelete removes one stored object (idempotent).
+func (s *Server) handleStoreDelete(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !ValidStoreKey(key) {
+		http.Error(w, fmt.Sprintf("bad object key %q", key), http.StatusBadRequest)
+		return
+	}
+	if err := s.store.Delete(key); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleStoreList enumerates stored keys under ?prefix= as a JSON array.
+func (s *Server) handleStoreList(w http.ResponseWriter, r *http.Request) {
+	keys, err := s.store.List(r.URL.Query().Get("prefix"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if keys == nil {
+		keys = []string{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(mustMarshal(keys), '\n'))
 }
 
 // handleValidate checks a spec without running it, returning its

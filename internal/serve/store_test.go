@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestObjectStoreConformance drives the shared ObjectStore contract
+// through every implementation: put/get round-trip, overwrite semantics,
+// ErrNoObject, prefix listing in lexical order, idempotent delete, and
+// key validation. The HTTP store runs against a real daemon handler, so
+// the /store endpoints are covered by the same table.
+func TestObjectStoreConformance(t *testing.T) {
+	srv := New(context.Background(), Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	stores := map[string]ObjectStore{
+		"mem":  NewMemStore(),
+		"dir":  NewDirStore(filepath.Join(t.TempDir(), "objects")),
+		"http": &HTTPStore{Base: hs.URL},
+	}
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get("lanes/none/seg_000000"); !errors.Is(err, ErrNoObject) {
+				t.Fatalf("absent key: err = %v, want ErrNoObject", err)
+			}
+			if err := s.Put("lanes/h1/a/seg_000000", []byte("one")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("lanes/h1/a/seg_000001", []byte("two")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("lanes/h1/b/seg_000000", []byte("three")); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Get("lanes/h1/a/seg_000000")
+			if err != nil || !bytes.Equal(got, []byte("one")) {
+				t.Fatalf("get = %q, %v", got, err)
+			}
+			// Put overwrites: re-delivery self-heals a torn upload.
+			if err := s.Put("lanes/h1/a/seg_000000", []byte("one-again")); err != nil {
+				t.Fatal(err)
+			}
+			if got, _ := s.Get("lanes/h1/a/seg_000000"); !bytes.Equal(got, []byte("one-again")) {
+				t.Fatalf("overwrite lost: %q", got)
+			}
+			keys, err := s.List("lanes/h1/a/")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := []string{"lanes/h1/a/seg_000000", "lanes/h1/a/seg_000001"}
+			if !reflect.DeepEqual(keys, want) {
+				t.Fatalf("list = %v, want %v", keys, want)
+			}
+			if err := s.Delete("lanes/h1/a/seg_000001"); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Delete("lanes/h1/a/seg_000001"); err != nil {
+				t.Fatalf("second delete: %v, want idempotent nil", err)
+			}
+			if keys, _ := s.List("lanes/h1/a/"); len(keys) != 1 {
+				t.Fatalf("after delete, list = %v", keys)
+			}
+			for _, bad := range []string{"", "a//b", "../escape", "a/../b", "sp ace"} {
+				if err := s.Put(bad, []byte("x")); err == nil {
+					t.Fatalf("bad key %q accepted", bad)
+				}
+			}
+		})
+	}
+}
+
+// TestValidStoreKey pins the key alphabet down.
+func TestValidStoreKey(t *testing.T) {
+	for _, ok := range []string{"a", "lanes/abc123/shard_0_of_2.jsonl/seg_000000", "A-b_c.d"} {
+		if !ValidStoreKey(ok) {
+			t.Fatalf("ValidStoreKey(%q) = false", ok)
+		}
+	}
+	long := strings.Repeat("a", 513)
+	for _, bad := range []string{"", ".", "..", "a/..", "/a", "a/", "a b", "a\x00b", long} {
+		if ValidStoreKey(bad) {
+			t.Fatalf("ValidStoreKey(%q) = true", bad)
+		}
+	}
+}
+
+// TestStoreEndpointsRejectBadKeys: the daemon refuses malformed keys at
+// the edge, before touching its backend.
+func TestStoreEndpointsRejectBadKeys(t *testing.T) {
+	srv := New(context.Background(), Config{})
+	hs := httptest.NewServer(srv.Handler())
+	defer hs.Close()
+
+	req, err := http.NewRequest(http.MethodPut, hs.URL+"/store/bad%2F..%2Fkey", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal key: %s, want 400", resp.Status)
+	}
+}
+
+// TestDirStoreTempFilesInvisible: a concurrent writer's temp files never
+// appear in listings — an object is absent or complete.
+func TestDirStoreTempFilesInvisible(t *testing.T) {
+	root := t.TempDir()
+	s := NewDirStore(root)
+	if err := s.Put("lanes/h/a/seg_000000", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an in-flight atomic write.
+	if err := os.WriteFile(filepath.Join(root, "lanes", "h", "a", ".obj_inflight"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := s.List("lanes/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 1 || keys[0] != "lanes/h/a/seg_000000" {
+		t.Fatalf("list leaked temp files: %v", keys)
+	}
+}
+
+// TestDiskCacheRestartRoundTrip: entries written by one DiskCache
+// instance are served byte-identically by a fresh instance over the same
+// directory — the restart survival contract — and entries are
+// write-once.
+func TestDiskCacheRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := NewDiskCache(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 32) // hash-shaped
+	payload := []byte(`{"text":"result payload"}`)
+	c1.Put(key, payload)
+	if got, ok := c1.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("same-instance get = %q, %v", got, ok)
+	}
+
+	c2, err := NewDiskCache(dir, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("post-restart get = %q, %v; want the exact pre-restart bytes", got, ok)
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c2.Len())
+	}
+
+	// Write-once: equal hashes denote identical payloads, so the first
+	// write is final.
+	c2.Put(key, []byte("imposter"))
+	if got, _ := c2.Get(key); !bytes.Equal(got, payload) {
+		t.Fatalf("write-once violated: %q", got)
+	}
+
+	// Hostile keys never touch the filesystem.
+	c2.Put("../escape", payload)
+	if _, ok := c2.Get("../escape"); ok {
+		t.Fatal("path-traversal key round-tripped")
+	}
+	if c2.Len() != 1 {
+		t.Fatalf("hostile key persisted: Len = %d", c2.Len())
+	}
+}
+
+// TestServeDiskCacheSurvivesRestart is the daemon-level restart test: a
+// second server generation over the same -cachedir answers the repeat
+// query from disk with zero computes and byte-identical text.
+func TestServeDiskCacheSurvivesRestart(t *testing.T) {
+	cacheDir := t.TempDir()
+	run := func(fake *fakeRunner) [][]byte {
+		dc, err := NewDiskCache(cacheDir, t.Logf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		srv := New(ctx, Config{
+			Cache: dc,
+			NewRunner: func(context.Context, string, func(string, ...any)) (Runner, error) {
+				return fake, nil
+			},
+		})
+		hs := httptest.NewServer(srv.Handler())
+		defer hs.Close()
+		return postRun(t, hs.URL, testSpecJSON)
+	}
+
+	gen1 := &fakeRunner{}
+	lines1 := run(gen1)
+	if gen1.count() != 1 {
+		t.Fatalf("first generation computed %d times, want 1", gen1.count())
+	}
+
+	gen2 := &fakeRunner{}
+	lines2 := run(gen2)
+	if gen2.count() != 0 {
+		t.Fatalf("second generation computed %d times, want 0 (disk cache hit)", gen2.count())
+	}
+	// The terminal result line must be byte-identical across the restart.
+	last1, last2 := lines1[len(lines1)-1], lines2[len(lines2)-1]
+	if !bytes.Equal(last1, last2) {
+		t.Fatalf("result diverged across restart:\ngen1: %s\ngen2: %s", last1, last2)
+	}
+}
