@@ -1,0 +1,83 @@
+// Command advlint runs the repo's static-analysis invariant suite
+// (internal/analysis) over package patterns, printing one line per
+// finding and exiting non-zero when any invariant is violated:
+//
+//	go run ./cmd/advlint ./...
+//	go run ./cmd/advlint -tags noasm ./internal/tensor/... ./internal/nn/...
+//
+// Build tags passed via -tags (plus GOAMD64/GOARCH from the
+// environment) select the same file sets the corresponding build
+// would compile, so the kernel-ladder CI legs analyze exactly the
+// build-conditional code they test.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags for package loading")
+	list := flag.Bool("analyzers", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: advlint [-tags t1,t2] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		printAnalyzers(flag.CommandLine.Output())
+	}
+	flag.Parse()
+	if *list {
+		printAnalyzers(os.Stdout)
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := analysis.LoadPackages(wd, tagList, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		for _, a := range analysis.All() {
+			diags, err := analysis.RunAnalyzer(a, pkg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				fmt.Printf("%s: %s (%s)\n", pos, d.Message, a.Name)
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Printf("advlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func printAnalyzers(w interface{ Write([]byte) (int, error) }) {
+	for _, a := range analysis.All() {
+		fmt.Fprintf(w, "  %-16s %s\n", a.Name, a.Doc)
+	}
+}

@@ -1,0 +1,208 @@
+// Package analysis is the repo's static-analysis suite: a small
+// go/analysis-style framework (the real golang.org/x/tools module is
+// not vendored, so the Analyzer/Pass/Diagnostic surface is reproduced
+// on the standard library) plus the five invariant checkers that gate
+// CI via cmd/advlint:
+//
+//   - detlint: deterministic packages may not read wall clocks, use
+//     math/rand, or let map iteration order feed results
+//   - noalloclint: functions annotated //advlint:noalloc stay off the
+//     allocator on their happy path
+//   - printlint: library packages never write run output directly;
+//     observers and Logf own it
+//   - atomicwritelint: durability code writes through the atomic
+//     temp+rename helpers and never discards file Close/Sync errors
+//   - fusedmathlint: kernel-adjacent code never fuses mul/add
+//     (math.FMA) or compares floats with ==
+//
+// Findings are suppressed site-by-site with //advlint:<check>-ok
+// justification comments on (or immediately above) the flagged line;
+// each analyzer's doc string names the annotation it honors.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker, mirroring the x/tools
+// go/analysis Analyzer contract.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and annotations.
+	Name string
+	// Doc is the one-paragraph description shown by advlint -help.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one analyzed package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+
+	annotations map[string]map[int][]string // filename -> line -> directives
+}
+
+// Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// All returns the full advlint suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Detlint,
+		Noalloclint,
+		Printlint,
+		Atomicwritelint,
+		Fusedmathlint,
+	}
+}
+
+// annotationPrefix introduces a suppression or marker directive. The
+// directive comment style (no space after //, like //go:build) keeps
+// gofmt from detaching it from the annotated line.
+const annotationPrefix = "//advlint:"
+
+// buildAnnotations indexes every //advlint: directive by file and
+// line so Annotated can answer in O(1) per query.
+func (p *Pass) buildAnnotations() {
+	p.annotations = make(map[string]map[int][]string)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, annotationPrefix) {
+					continue
+				}
+				directive := strings.TrimPrefix(c.Text, annotationPrefix)
+				// Only the directive word counts; the rest of the
+				// line is the human justification.
+				if i := strings.IndexAny(directive, " \t"); i >= 0 {
+					directive = directive[:i]
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := p.annotations[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int][]string)
+					p.annotations[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = append(byLine[pos.Line], directive)
+			}
+		}
+	}
+}
+
+// Annotated reports whether pos's line, or the line directly above it,
+// carries the named //advlint: directive. The one-line-above rule lets
+// a justification comment sit on its own line without gofmt churn.
+func (p *Pass) Annotated(pos token.Pos, directive string) bool {
+	if p.annotations == nil {
+		p.buildAnnotations()
+	}
+	position := p.Fset.Position(pos)
+	byLine := p.annotations[position.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		for _, d := range byLine[line] {
+			if d == directive {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// funcDirective reports whether fn's doc comment carries the named
+// //advlint: directive (e.g. //advlint:noalloc).
+func funcDirective(fn *ast.FuncDecl, directive string) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		text := strings.TrimPrefix(c.Text, annotationPrefix)
+		if text == c.Text {
+			continue
+		}
+		if i := strings.IndexAny(text, " \t"); i >= 0 {
+			text = text[:i]
+		}
+		if text == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// pkgTail reports whether the package import path's final segments
+// match one of the given names, treating the path's last component
+// (and, for testdata packages, an explicit override installed by the
+// test loader) as the package identity. "repro/internal/eval" has
+// tail "eval".
+func pkgTail(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func pathIn(path string, names ...string) bool {
+	tail := pkgTail(path)
+	for _, n := range names {
+		if tail == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isPkgFunc reports whether the called expression resolves to the
+// function pkgPath.name (e.g. "time".Now, "os".WriteFile).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// usedPkgObject resolves an identifier use to (package path, object
+// name), for spotting references like os.Stdout.
+func usedPkgObject(info *types.Info, sel *ast.SelectorExpr) (string, string, bool) {
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return "", "", false
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// sortedKeys returns m's keys sorted, for deterministic reporting
+// inside the analyzers themselves.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,126 @@
+// Package analysistest verifies analyzers against testdata packages
+// annotated with // want comments, mirroring the x/tools package of
+// the same name: a diagnostic is expected exactly where a want comment
+// names it, and everywhere else the analyzer must stay silent.
+//
+// A want comment sits on the line the diagnostic points at and carries
+// one or more quoted regular expressions:
+//
+//	t := time.Now() // want `time\.Now`
+//	n := make([]int, 8) // want "make" "second pattern"
+//
+// Every want must be matched by a reported diagnostic on its line, and
+// every diagnostic must match a want — surplus findings are test
+// failures too, which is what pins the negative (annotation/exemption)
+// cases.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// wantRe matches one quoted expectation: a Go double-quoted string or
+// a backquoted raw string.
+var wantRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the testdata directory as a package with the synthetic
+// import path asPath, applies the analyzer, and checks its diagnostics
+// against the // want comments.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	pkg, err := analysis.LoadTestdata(dir, asPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := collectWants(t, pkg)
+	diags, err := analysis.RunAnalyzer(a, pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !claim(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// collectWants scans the package's comments for // want expectations.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(text, -1)
+				if len(quoted) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, q := range quoted {
+					pattern, err := unquoteWant(q)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pattern, err)
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, pattern: re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquoteWant(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	s, err := strconv.Unquote(q)
+	if err != nil {
+		return "", fmt.Errorf("bad want string %s: %v", q, err)
+	}
+	return s, nil
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message, reporting whether one was found.
+func claim(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if w.matched || w.file != pos.Filename || w.line != pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAtomicwritelint(t *testing.T) {
+	analysistest.Run(t, analysis.Atomicwritelint, "testdata/src/atomic", "repro/internal/serve")
+}

@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// deterministicPkgs are the packages whose outputs are pinned
+// bit-identical across parallelism, sharding, resume and transport:
+// everything that computes, orders or reports grid results.
+var deterministicPkgs = []string{
+	"eval", "exp", "dispatch", "tensor", "nn", "attack", "defense",
+}
+
+// Detlint enforces the determinism contract inside the deterministic
+// packages: no wall-clock reads (time.Now — suppress a scheduling-only
+// use with //advlint:wallclock-ok), no math/rand (xrand's splittable
+// streams are the only sanctioned randomness), and no map iteration
+// whose order can feed results. A map range is allowed when its body
+// only collects keys for later sorting, or when the site carries an
+// //advlint:ordered-ok justification.
+var Detlint = &Analyzer{
+	Name: "detlint",
+	Doc: "forbid time.Now, math/rand and order-dependent map iteration " +
+		"in deterministic packages (eval, exp, dispatch, tensor, nn, attack, defense)",
+	Run: runDetlint,
+}
+
+func runDetlint(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), deterministicPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"deterministic package imports %s; derive randomness from xrand's seeded streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.TypesInfo, n, "time", "Now") && !pass.Annotated(n.Pos(), "wallclock-ok") {
+					pass.Reportf(n.Pos(),
+						"time.Now in deterministic package: results may not depend on wall clocks "+
+							"(annotate //advlint:wallclock-ok if this only drives scheduling)")
+				}
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags a range over a map value unless the site is
+// annotated ordered-ok or the body is a pure key-collection loop
+// (append the key to a slice, nothing else), the first half of the
+// collect-sort-iterate idiom.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if pass.Annotated(rs.Pos(), "ordered-ok") {
+		return
+	}
+	if isKeyCollection(pass, rs) {
+		return
+	}
+	pass.Reportf(rs.Pos(),
+		"map iteration order can feed results in a deterministic package; "+
+			"collect and sort the keys first, or annotate //advlint:ordered-ok with a justification")
+}
+
+// isKeyCollection reports whether the range body is exactly
+// `slice = append(slice, key)` with the map value unused.
+func isKeyCollection(pass *Pass, rs *ast.RangeStmt) bool {
+	if rs.Value != nil {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.Uses[arg] == pass.TypesInfo.Defs[key]
+}

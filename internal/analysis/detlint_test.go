@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestDetlint(t *testing.T) {
+	analysistest.Run(t, analysis.Detlint, "testdata/src/det", "repro/internal/eval")
+}
+
+// TestDetlintOutsideScope loads the same constructs under an import
+// path outside the deterministic set: nothing may be flagged.
+func TestDetlintOutsideScope(t *testing.T) {
+	analysistest.Run(t, analysis.Detlint, "testdata/src/det_outside", "repro/internal/imaging")
+}

@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// kernelPkgs hold the SGEMM ladder and the layers that lower onto it:
+// the code whose numerics the bit-identity contract pins.
+var kernelPkgs = []string{"tensor", "nn"}
+
+// Fusedmathlint guards the unfused mul/add lane contract from the
+// kernel ladder (PRs 4/8): every SIMD rung performs separate multiply
+// and add roundings, so Go-side reference and driver code must too.
+//
+//   - math.FMA is flagged unconditionally: a fused multiply-add rounds
+//     once and its result diverges from every lane kernel.
+//   - == / != between floats is flagged: equality that "works" on one
+//     rung is a latent divergence on another. Exact-representation
+//     compares (a zero fast path, a sentinel) carry
+//     //advlint:floatcmp-ok with a justification.
+var Fusedmathlint = &Analyzer{
+	Name: "fusedmathlint",
+	Doc:  "kernel-adjacent code must not fuse mul/add (math.FMA) or compare floats with ==",
+	Run:  runFusedmathlint,
+}
+
+func runFusedmathlint(pass *Pass) error {
+	if !pathIn(pass.Pkg.Path(), kernelPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(pass.TypesInfo, n, "math", "FMA") {
+					pass.Reportf(n.Pos(),
+						"math.FMA fuses mul/add into one rounding; the lane kernels round twice — keep the multiply and add separate")
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloatType(pass.TypesInfo.TypeOf(n.X)) && !isFloatType(pass.TypesInfo.TypeOf(n.Y)) {
+					return true
+				}
+				if pass.Annotated(n.Pos(), "floatcmp-ok") {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"float %s comparison in kernel-adjacent code; compare against a tolerance, "+
+						"or annotate //advlint:floatcmp-ok for an exact-representation check", n.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloatType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

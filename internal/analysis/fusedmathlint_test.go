@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestFusedmathlint(t *testing.T) {
+	analysistest.Run(t, analysis.Fusedmathlint, "testdata/src/fused", "repro/internal/tensor")
+}

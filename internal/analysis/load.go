@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The loader resolves packages the same way the build does — one
+// `go list -export -deps -json` invocation per load — so build tags
+// (-tags noasm) and GOAMD64 rungs select exactly the file sets the
+// kernel-ladder CI legs compile. Dependencies are imported from the
+// toolchain's export data (never re-typechecked from source); only the
+// packages under analysis are parsed, so each Pass sees full ASTs,
+// comments and go/types info for its own files.
+
+// Package is one loaded, typechecked package ready for analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -deps -json` in dir over the
+// patterns, with extra build tags, returning every listed package.
+func goList(dir string, tags []string, patterns []string) ([]*listedPkg, error) {
+	args := []string{"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Standard,Export,DepOnly,GoFiles,Error"}
+	if len(tags) > 0 {
+		args = append(args, "-tags", strings.Join(tags, ","))
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// Cgo-free file sets: the typechecker cannot follow import "C",
+	// and every package in this tree builds without it.
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("advlint: go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("advlint: go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies types.Importer by feeding the stdlib gc
+// importer each dependency's export data file from the go list run.
+type exportImporter struct {
+	gc      types.ImporterFrom
+	exports map[string]string
+}
+
+func newExportImporter(fset *token.FileSet, pkgs []*listedPkg) *exportImporter {
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	imp := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := imp.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("advlint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return imp
+}
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	return i.ImportFrom(path, "", 0)
+}
+
+func (i *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.ImportFrom(path, dir, mode)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// LoadPackages loads, parses and typechecks the packages matching the
+// patterns (resolved relative to dir, honoring tags), returning them
+// in deterministic import-path order. Test files are not analyzed:
+// the invariants advlint enforces are production-code contracts.
+func LoadPackages(dir string, tags []string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, tags, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, listed)
+
+	var out []*Package
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("advlint: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("advlint: parse: %v", err)
+			}
+			files = append(files, f)
+		}
+		info := newTypesInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("advlint: typecheck %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			Path:  lp.ImportPath,
+			Name:  lp.Name,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// RunAnalyzer applies one analyzer to one package, returning its
+// diagnostics sorted by position.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Pkg,
+		TypesInfo: pkg.Info,
+		Report:    func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("advlint: %s on %s: %v", a.Name, pkg.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// LoadTestdata parses and typechecks every .go file of one directory
+// as a single package under a synthetic import path — how the
+// analysistest harness materializes its testdata packages, including
+// ones that deliberately violate invariants (testdata directories are
+// invisible to go build, so the violations never reach the real tree).
+// asPath controls which analyzers consider the package theirs: loading
+// a file as "repro/internal/eval" puts it inside detlint's scope,
+// "repro/cmd/x" outside printlint's.
+func LoadTestdata(dir, asPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("advlint: testdata: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := make(map[string]bool)
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("advlint: testdata parse: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("advlint: testdata: no .go files in %s", dir)
+	}
+	var imp types.Importer = newExportImporter(fset, nil)
+	if len(importSet) > 0 {
+		listed, err := goList(dir, nil, sortedKeys(importSet))
+		if err != nil {
+			return nil, err
+		}
+		imp = newExportImporter(fset, listed)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", "amd64")}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("advlint: typecheck testdata %s: %v", dir, err)
+	}
+	return &Package{
+		Path:  asPath,
+		Name:  files[0].Name.Name,
+		Fset:  fset,
+		Files: files,
+		Pkg:   tpkg,
+		Info:  info,
+	}, nil
+}

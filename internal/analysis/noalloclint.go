@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloclint verifies functions annotated //advlint:noalloc — the
+// Workspace/Into hot paths whose zero-allocation contract the
+// AllocsPerRun guards pin at runtime — never reach for the allocator
+// on their happy path: no make/new, no append (hot paths write through
+// pre-sized buffers by index), no string concatenation, no fmt calls,
+// and no boxing of non-pointer values into interface parameters.
+// Allocations inside a panic(...) argument are exempt: shape
+// validation may format its death message.
+//
+// The check is intraprocedural by design — callees are trusted to
+// carry (and be checked against) their own annotation.
+var Noalloclint = &Analyzer{
+	Name: "noalloclint",
+	Doc:  "functions annotated //advlint:noalloc must not allocate on the happy path",
+	Run:  runNoalloclint,
+}
+
+func runNoalloclint(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !funcDirective(fn, "noalloc") {
+				continue
+			}
+			checkNoalloc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkNoalloc(pass *Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(pass, n, "panic") {
+				// Panic paths may allocate their message; skip the
+				// whole argument subtree.
+				return false
+			}
+			checkNoallocCall(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(pass.TypesInfo.TypeOf(n.X)) {
+				pass.Reportf(n.OpPos, "string concatenation allocates in //advlint:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(pass.TypesInfo.TypeOf(n.Lhs[0])) {
+				pass.Reportf(n.TokPos, "string concatenation allocates in //advlint:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.CompositeLit:
+			// Composite literals assigned to locals stay on the
+			// stack; only flag them when converted to an interface,
+			// which checkNoallocCall covers at call sites.
+		case *ast.FuncLit:
+			// A closure literal is itself an allocation.
+			pass.Reportf(n.Pos(), "closure literal allocates in //advlint:noalloc function %s", fn.Name.Name)
+			return false
+		}
+		return true
+	})
+}
+
+func checkNoallocCall(pass *Pass, call *ast.CallExpr) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				pass.Reportf(call.Pos(), "%s allocates in //advlint:noalloc function; reuse a workspace buffer", b.Name())
+			case "append":
+				pass.Reportf(call.Pos(), "append may grow in //advlint:noalloc function; write through a pre-sized buffer by index")
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if path, _, ok := usedPkgObject(pass.TypesInfo, sel); ok && path == "fmt" {
+			pass.Reportf(call.Pos(), "fmt call allocates in //advlint:noalloc function; hot paths must not format")
+			return
+		}
+	}
+	checkInterfaceBoxing(pass, call)
+}
+
+// checkInterfaceBoxing flags arguments whose concrete non-pointer
+// values convert to interface parameters: the conversion boxes the
+// value on the heap. Pointer-shaped values (pointers, maps, chans,
+// funcs, unsafe pointers) fit the interface data word and do not.
+func checkInterfaceBoxing(pass *Pass, call *ast.CallExpr) {
+	sigType := pass.TypesInfo.TypeOf(call.Fun)
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var paramType types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos && i == params.Len()-1 {
+				paramType = params.At(params.Len() - 1).Type()
+			} else {
+				slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+				if !ok {
+					continue
+				}
+				paramType = slice.Elem()
+			}
+		case i < params.Len():
+			paramType = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(paramType) {
+			continue
+		}
+		argType := pass.TypesInfo.TypeOf(arg)
+		if argType == nil || types.IsInterface(argType) {
+			continue
+		}
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && tv.IsNil() {
+			continue
+		}
+		switch argType.Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+			continue
+		}
+		pass.Reportf(arg.Pos(), "passing %s into interface parameter boxes it on the heap in //advlint:noalloc function",
+			types.TypeString(argType, types.RelativeTo(pass.Pkg)))
+	}
+}
+
+func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

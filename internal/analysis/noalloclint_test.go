@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestNoalloclint(t *testing.T) {
+	analysistest.Run(t, analysis.Noalloclint, "testdata/src/noalloc", "repro/internal/nn")
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// Printlint keeps run output out of library code: since PR 5,
+// observers and the injected Logf own everything a run prints, so the
+// packages under internal/ (and the root facade) may not write to the
+// process streams directly. Flagged: fmt.Print/Printf/Println (the
+// implicit-stdout family), any use of package log (its default logger
+// writes to stderr), references to os.Stdout/os.Stderr, and the
+// print/println builtins. fmt.Fprintf to a caller-supplied writer is
+// fine — that is how the observer sinks are built.
+//
+// Command and example binaries (cmd/..., examples/...) own their
+// stdout and are exempt.
+var Printlint = &Analyzer{
+	Name: "printlint",
+	Doc:  "library packages must not print: no fmt.Print*, package log, or os.Stdout/os.Stderr",
+	Run:  runPrintlint,
+}
+
+// libraryPkg reports whether the import path is library code subject
+// to the no-print rule.
+func libraryPkg(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" || seg == "testdata" {
+			return false
+		}
+	}
+	return true
+}
+
+func runPrintlint(pass *Pass) error {
+	if !libraryPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil && path == "log" {
+				pass.Reportf(imp.Pos(), "library package imports log; run output belongs to observers and the injected Logf")
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkPrintCall(pass, n)
+			case *ast.SelectorExpr:
+				if path, name, ok := usedPkgObject(pass.TypesInfo, n); ok && path == "os" && (name == "Stdout" || name == "Stderr") {
+					pass.Reportf(n.Pos(), "library package references os.%s; write to a caller-supplied writer instead", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkPrintCall(pass *Pass, call *ast.CallExpr) {
+	for _, name := range []string{"Print", "Printf", "Println"} {
+		if isPkgFunc(pass.TypesInfo, call, "fmt", name) {
+			pass.Reportf(call.Pos(), "fmt.%s writes to stdout from a library package; route output through an observer or Logf", name)
+			return
+		}
+	}
+	if isBuiltinCall(pass, call, "print") || isBuiltinCall(pass, call, "println") {
+		pass.Reportf(call.Pos(), "builtin print writes to stderr from a library package")
+	}
+}

@@ -1,0 +1,18 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestPrintlint(t *testing.T) {
+	analysistest.Run(t, analysis.Printlint, "testdata/src/obs", "repro/internal/obs")
+}
+
+// TestPrintlintCommandScope loads printing code as a command binary:
+// commands own their stdout, so nothing may be flagged.
+func TestPrintlintCommandScope(t *testing.T) {
+	analysistest.Run(t, analysis.Printlint, "testdata/src/obs_cmd", "repro/cmd/advrepro")
+}

@@ -1,0 +1,66 @@
+// Package atomic exercises atomicwritelint: loaded as
+// repro/internal/serve, a durability package.
+package atomic
+
+import "os"
+
+// TornWrite is the classic violation: a crash mid-write leaves a torn
+// file under the final name.
+func TornWrite(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `os\.WriteFile in durability code is not crash-atomic`
+}
+
+// TornCreate opens the final name directly.
+func TornCreate(path string) error {
+	f, err := os.Create(path) // want `os\.Create in durability code is not crash-atomic`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// FaultInjector deliberately writes a torn file and says so.
+func FaultInjector(path string, data []byte) error {
+	//advlint:atomic-ok testdata: simulated torn-tail write
+	return os.WriteFile(path, data, 0o644)
+}
+
+// AtomicWrite is the sanctioned shape: temp file, synced, closed with
+// the error surfaced, then renamed over the final name. The error-path
+// cleanup closes carry close-ok.
+func AtomicWrite(dir, final string, data []byte) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //advlint:close-ok error path: the write already failed
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close() //advlint:close-ok error path: the sync already failed
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), final)
+}
+
+// SloppyClose discards the close error four different ways.
+func SloppyClose(f *os.File) {
+	f.Close()       // want `Close error discarded on an os\.File in durability code`
+	defer f.Close() // want `Close error discarded on an os\.File in durability code`
+	_ = f.Close()   // want `Close error discarded on an os\.File in durability code`
+	f.Sync()        // want `Sync error discarded on an os\.File in durability code`
+}
+
+type quietCloser struct{}
+
+func (quietCloser) Close() error { return nil }
+
+// CloseOther closes something that is not an os.File: no durable bytes
+// ride on it, so the discard is fine.
+func CloseOther(c *quietCloser) {
+	c.Close()
+}

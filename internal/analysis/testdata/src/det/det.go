@@ -1,0 +1,59 @@
+// Package det exercises detlint: loaded by the test harness as
+// repro/internal/eval, a deterministic package.
+package det
+
+import (
+	"math/rand" // want `deterministic package imports math/rand`
+	"sort"
+	"time"
+)
+
+// UseRand exists so the flagged import typechecks.
+func UseRand() int { return rand.Int() }
+
+// WallClock is flagged: a deterministic package may not read time.
+func WallClock() time.Time {
+	return time.Now() // want `time\.Now in deterministic package`
+}
+
+// SchedulingClock carries the justification annotation and passes.
+func SchedulingClock() time.Time {
+	return time.Now() //advlint:wallclock-ok scheduling only
+}
+
+// SumInMapOrder accumulates floats in map iteration order — flagged.
+func SumInMapOrder(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want `map iteration order`
+		total += v
+	}
+	return total
+}
+
+// SortedKeys is the sanctioned idiom: the range only collects keys,
+// and the caller iterates the sorted slice.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// JustifiedFold carries an ordered-ok annotation and passes.
+func JustifiedFold(dst, src map[int]int) {
+	//advlint:ordered-ok map-to-map fold; order-free
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+// SliceRange is not a map range and is never flagged.
+func SliceRange(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package det_outside holds the same constructs as package det but is
+// loaded as repro/internal/imaging — outside detlint's deterministic
+// set, so nothing here may be flagged.
+package det_outside
+
+import (
+	"time"
+)
+
+// WallClock is fine outside the deterministic packages.
+func WallClock() time.Time {
+	return time.Now()
+}
+
+// MapOrder is fine outside the deterministic packages.
+func MapOrder(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,41 @@
+// Package fused exercises fusedmathlint: loaded as
+// repro/internal/tensor, a kernel-adjacent package.
+package fused
+
+import "math"
+
+// Fused rounds once — it can never match the lane kernels.
+func Fused(a, b, c float64) float64 {
+	return math.FMA(a, b, c) // want `math\.FMA fuses mul/add into one rounding`
+}
+
+// Unfused rounds the multiply and the add separately, like every rung.
+func Unfused(a, b, c float64) float64 {
+	return a*b + c
+}
+
+// Equal compares floats exactly — flagged.
+func Equal(a, b float64) bool {
+	return a == b // want `float == comparison in kernel-adjacent code`
+}
+
+// NotEqual is the != spelling of the same trap.
+func NotEqual(a, b float32) bool {
+	return a != b // want `float != comparison in kernel-adjacent code`
+}
+
+// ZeroFastPath compares against an exactly-representable sentinel and
+// carries the justification.
+func ZeroFastPath(a float32) bool {
+	return a == 0 //advlint:floatcmp-ok exact zero skip
+}
+
+// IntCompare is not a float comparison.
+func IntCompare(a, b int) bool {
+	return a == b
+}
+
+// Tolerance is the sanctioned comparison shape.
+func Tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-12
+}

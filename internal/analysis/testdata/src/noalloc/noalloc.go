@@ -1,0 +1,54 @@
+// Package noalloc exercises noalloclint: only functions annotated
+// //advlint:noalloc are checked, and only their happy paths.
+package noalloc
+
+import "fmt"
+
+// Sink keeps arguments alive without boxing them.
+type Sink struct{ n int }
+
+// Add takes a concrete parameter: calling it never boxes.
+func (s *Sink) Add(n int) { s.n += n }
+
+// Box takes an interface parameter.
+func (s *Sink) Box(v any) { _ = v }
+
+// Hot is annotated and violates every rule once.
+//
+//advlint:noalloc
+func Hot(s *Sink, xs []int, name string) {
+	buf := make([]int, 8) // want `make allocates`
+	_ = buf
+	p := new(int) // want `new allocates`
+	_ = p
+	xs = append(xs, 1) // want `append may grow`
+	_ = xs
+	msg := "x" + name // want `string concatenation allocates`
+	_ = msg
+	fmt.Sprintf("%d", s.n) // want `fmt call allocates`
+	s.Box(42)              // want `boxes it on the heap`
+	f := func() {}         // want `closure literal allocates`
+	f()
+}
+
+// HotClean is annotated and clean: indexed writes, concrete calls,
+// pointer-shaped values through interfaces, and a formatted panic on
+// the shape-validation death path.
+//
+//advlint:noalloc
+func HotClean(s *Sink, dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("noalloc: length %d != %d", len(dst), len(src)))
+	}
+	for i := range src {
+		dst[i] = src[i] * 2
+	}
+	s.Add(len(dst))
+	s.Box(s) // pointers fit the interface word: no boxing
+}
+
+// Cold is not annotated: the allocator is fine here.
+func Cold(n int) []int {
+	out := make([]int, n)
+	return append(out, 1)
+}

@@ -1,0 +1,27 @@
+// Package obs exercises printlint: loaded as repro/internal/obs, a
+// library package that owns no process streams.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log" // want `library package imports log`
+	"os"
+)
+
+// UseLog exists so the flagged import typechecks.
+func UseLog() { log.Default() }
+
+// Shout is flagged three ways.
+func Shout(w io.Writer) {
+	fmt.Println("done")                // want `fmt\.Println writes to stdout`
+	fmt.Printf("%d\n", 1)              // want `fmt\.Printf writes to stdout`
+	fmt.Fprintf(os.Stdout, "direct\n") // want `references os\.Stdout`
+	println("dbg")                     // want `builtin print writes to stderr`
+	fmt.Fprintf(w, "to caller\n")      // a caller-supplied writer is the sanctioned sink
+}
+
+// Render formats without printing — never flagged.
+func Render(n int) string {
+	return fmt.Sprintf("%d cells", n)
+}

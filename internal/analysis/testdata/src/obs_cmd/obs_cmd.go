@@ -1,0 +1,15 @@
+// Package obs_cmd holds the same prints as package obs but is loaded
+// as repro/cmd/advrepro: command binaries own their stdout, so nothing
+// here may be flagged.
+package obs_cmd
+
+import (
+	"fmt"
+	"os"
+)
+
+// Report prints freely: this is a command, not a library.
+func Report(n int) {
+	fmt.Println("done")
+	fmt.Fprintf(os.Stderr, "%d cells\n", n)
+}

@@ -37,6 +37,8 @@ func BoxMask(c, h, w int, b box.Box, expand float64) *tensor.Tensor {
 
 // BoxMaskInto is BoxMask writing into an existing (c,h,w) mask tensor,
 // which per-frame attackers reuse across frames. The mask is zeroed first.
+//
+//advlint:noalloc
 func BoxMaskInto(m *tensor.Tensor, b box.Box, expand float64) *tensor.Tensor {
 	c, h, w := m.Dim(0), m.Dim(1), m.Dim(2)
 	m.Zero()
@@ -93,6 +95,8 @@ func FGSM(obj Objective, img *imaging.Image, eps float64, mask *tensor.Tensor) *
 // FGSMInto is FGSM writing the adversarial frame into dst, which must match
 // img's geometry and not alias it. With the model workspace warm, a
 // steady-state per-frame FGSM step allocates nothing.
+//
+//advlint:noalloc
 func FGSMInto(dst *imaging.Image, obj Objective, img *imaging.Image, eps float64, mask *tensor.Tensor) *imaging.Image {
 	_, grad := obj.LossGrad(img)
 	grad.SignInPlace()

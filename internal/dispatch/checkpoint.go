@@ -131,10 +131,18 @@ func syncLane(ct CheckpointTransport, lane, path string, meta gridMeta) (int, er
 		return 0, err
 	}
 
-	// Push local-only records out; verify overlap is bit-identical (a
-	// divergence here means non-deterministic workers or a foreign
-	// replica — merging silently would corrupt the grid).
-	for idx, cell := range local {
+	// Push local-only records out in grid order — publish order shapes
+	// replica segment layout and which divergence reports first — and
+	// verify overlap is bit-identical (a divergence here means
+	// non-deterministic workers or a foreign replica — merging silently
+	// would corrupt the grid).
+	push := make([]int, 0, len(local))
+	for idx := range local {
+		push = append(push, idx)
+	}
+	sort.Ints(push)
+	for _, idx := range push {
+		cell := local[idx]
 		if prev, dup := remote[idx]; dup {
 			if !reflect.DeepEqual(prev, cell) {
 				return 0, fmt.Errorf("dispatch: lane %s cell %d differs between the local file and the %s replica — lanes from diverging runs?", lane, idx, ct)
@@ -148,6 +156,7 @@ func syncLane(ct CheckpointTransport, lane, path string, meta gridMeta) (int, er
 
 	// Pull replica-only records in.
 	var add []int
+	//advlint:ordered-ok key collection with a membership filter; add is sorted below
 	for idx := range remote {
 		if _, dup := local[idx]; !dup {
 			add = append(add, idx)
@@ -191,6 +200,7 @@ func laneProgress(path string, meta gridMeta, ct CheckpointTransport) map[int]ev
 	}
 	if ct != nil {
 		if remote, rerr := ct.Load(filepath.Base(path)); rerr == nil {
+			//advlint:ordered-ok map-to-map fold keyed by grid index; order-free
 			for idx, cell := range remote {
 				if _, dup := done[idx]; !dup {
 					done[idx] = cell
@@ -209,7 +219,7 @@ func atomicWriteFile(path string, data []byte) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() //advlint:close-ok error-path cleanup; the write failure is returned
 		os.Remove(tmp.Name())
 		return err
 	}
@@ -312,6 +322,7 @@ func (t *MirrorTransport) laneLocked(lane string) (*mirrorLane, error) {
 				l.lines = append(l.lines, append([]byte(nil), line...))
 			}
 		}
+		//advlint:ordered-ok map-to-map copy keyed by grid index; order-free
 		for idx, cell := range done {
 			l.recs[idx] = cell
 		}
@@ -390,6 +401,7 @@ func (t *MirrorTransport) Load(lane string) (map[int]eval.MatrixCell, error) {
 		return nil, err
 	}
 	out := make(map[int]eval.MatrixCell, len(l.recs))
+	//advlint:ordered-ok map-to-map copy keyed by grid index; order-free
 	for idx, cell := range l.recs {
 		out[idx] = cell
 	}

@@ -242,6 +242,7 @@ func tearLaneTail(path string) error {
 	if tear <= last {
 		return nil // nothing substantial to tear
 	}
+	//advlint:atomic-ok deliberately non-atomic: this IS the torn-tail fault injection
 	return os.WriteFile(path, []byte(body[:tear]), 0o644)
 }
 
@@ -254,39 +255,67 @@ type Injection struct {
 
 // ParseInjections parses the -inject grammar: comma-separated
 // fault:worker[@N] directives, e.g. "kill:0@2,dial:1@1,dup:0,torn:2@3".
+// An empty (or all-whitespace) string means no injections; anything
+// else must parse exactly — empty directives between commas, duplicate
+// fault:worker pairs, and non-digit worker/count tokens (including
+// signs, which Atoi would tolerate) are errors, not silently skipped.
 func ParseInjections(s string) ([]Injection, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	seen := make(map[string]bool)
 	var out []Injection
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			return nil, fmt.Errorf("dispatch: bad -inject %q: empty directive (stray comma)", s)
 		}
 		fault, rest, ok := strings.Cut(part, ":")
 		if !ok {
 			return nil, fmt.Errorf("dispatch: bad -inject %q: want fault:worker[@N]", part)
-		}
-		inj := Injection{Fault: fault, N: 1}
-		workerStr, nStr, hasN := strings.Cut(rest, "@")
-		w, err := strconv.Atoi(workerStr)
-		if err != nil || w < 0 {
-			return nil, fmt.Errorf("dispatch: bad -inject %q: worker index %q", part, workerStr)
-		}
-		inj.Worker = w
-		if hasN {
-			n, err := strconv.Atoi(nStr)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("dispatch: bad -inject %q: count %q", part, nStr)
-			}
-			inj.N = n
 		}
 		switch fault {
 		case "kill", "hang", "dial", "dup", "torn":
 		default:
 			return nil, fmt.Errorf("dispatch: bad -inject %q: unknown fault %q (want kill|hang|dial|dup|torn)", part, fault)
 		}
+		inj := Injection{Fault: fault, N: 1}
+		workerStr, nStr, hasN := strings.Cut(rest, "@")
+		w, err := parseDigits(workerStr)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: bad -inject %q: worker index %q (want digits)", part, workerStr)
+		}
+		inj.Worker = w
+		if hasN {
+			n, err := parseDigits(nStr)
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: bad -inject %q: count %q (want digits)", part, nStr)
+			}
+			inj.N = n
+		}
+		key := fmt.Sprintf("%s:%d", inj.Fault, inj.Worker)
+		if seen[key] {
+			return nil, fmt.Errorf("dispatch: bad -inject %q: duplicate directive %s", s, key)
+		}
+		seen[key] = true
 		out = append(out, inj)
 	}
 	return out, nil
+}
+
+// parseDigits parses a non-negative decimal integer written as bare
+// digits. Unlike strconv.Atoi it rejects signs ("+1", "-0") and the
+// empty string, so the -inject grammars stay exactly as documented.
+func parseDigits(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, fmt.Errorf("non-digit %q", s[i])
+		}
+	}
+	return strconv.Atoi(s)
 }
 
 // ApplyInjections wraps the targeted workers' transports with the

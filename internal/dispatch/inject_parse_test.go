@@ -1,0 +1,88 @@
+package dispatch
+
+import "testing"
+
+// The -inject/-injectstore strings are a lint-visible CLI surface (the
+// CI fault-matrix legs are built from them), so the parsers reject
+// malformed input with exact, stable messages instead of silently
+// skipping tokens. These tests pin the message text.
+
+func TestParseInjectionsEmptyInput(t *testing.T) {
+	for _, s := range []string{"", "   ", "\t"} {
+		injs, err := ParseInjections(s)
+		if err != nil || injs != nil {
+			t.Fatalf("ParseInjections(%q) = %v, %v; want nil, nil", s, injs, err)
+		}
+	}
+}
+
+func TestParseInjectionsExactErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"kill:0,,dial:1", `dispatch: bad -inject "kill:0,,dial:1": empty directive (stray comma)`},
+		{"kill:0,", `dispatch: bad -inject "kill:0,": empty directive (stray comma)`},
+		{",kill:0", `dispatch: bad -inject ",kill:0": empty directive (stray comma)`},
+		{"kill", `dispatch: bad -inject "kill": want fault:worker[@N]`},
+		{"explode:0", `dispatch: bad -inject "explode:0": unknown fault "explode" (want kill|hang|dial|dup|torn)`},
+		{"kill:x", `dispatch: bad -inject "kill:x": worker index "x" (want digits)`},
+		{"kill:-1", `dispatch: bad -inject "kill:-1": worker index "-1" (want digits)`},
+		{"kill:+1", `dispatch: bad -inject "kill:+1": worker index "+1" (want digits)`},
+		{"kill:", `dispatch: bad -inject "kill:": worker index "" (want digits)`},
+		{"kill:0@x", `dispatch: bad -inject "kill:0@x": count "x" (want digits)`},
+		{"kill:0@", `dispatch: bad -inject "kill:0@": count "" (want digits)`},
+		{"kill:0@-2", `dispatch: bad -inject "kill:0@-2": count "-2" (want digits)`},
+		{"kill:0@1,kill:0@2", `dispatch: bad -inject "kill:0@1,kill:0@2": duplicate directive kill:0`},
+	}
+	for _, c := range cases {
+		_, err := ParseInjections(c.in)
+		if err == nil {
+			t.Fatalf("ParseInjections(%q) accepted", c.in)
+		}
+		if err.Error() != c.want {
+			t.Fatalf("ParseInjections(%q) error:\n got %q\nwant %q", c.in, err.Error(), c.want)
+		}
+	}
+}
+
+// The same fault on different workers is two distinct directives, not a
+// duplicate.
+func TestParseInjectionsSameFaultDifferentWorkers(t *testing.T) {
+	injs, err := ParseInjections("kill:0@1,kill:1@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injs) != 2 {
+		t.Fatalf("parsed %d injections, want 2", len(injs))
+	}
+}
+
+func TestParseStoreInjectionsEmptyInput(t *testing.T) {
+	for _, s := range []string{"", "  "} {
+		injs, err := ParseStoreInjections(s)
+		if err != nil || injs != nil {
+			t.Fatalf("ParseStoreInjections(%q) = %v, %v; want nil, nil", s, injs, err)
+		}
+	}
+}
+
+func TestParseStoreInjectionsExactErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"outage:1,,dup", `dispatch: bad -injectstore "outage:1,,dup": empty directive (stray comma)`},
+		{"dup,", `dispatch: bad -injectstore "dup,": empty directive (stray comma)`},
+		{"flood:1", `dispatch: bad -injectstore "flood:1": unknown fault "flood" (want outage|torn|dup)`},
+		{"outage:x", `dispatch: bad -injectstore "outage:x": count "x" (want digits)`},
+		{"outage:", `dispatch: bad -injectstore "outage:": count "" (want digits)`},
+		{"outage:+3", `dispatch: bad -injectstore "outage:+3": count "+3" (want digits)`},
+		{"torn:-1", `dispatch: bad -injectstore "torn:-1": count "-1" (want digits)`},
+		{"dup,dup", `dispatch: bad -injectstore "dup,dup": duplicate directive dup`},
+		{"outage:1,outage:2", `dispatch: bad -injectstore "outage:1,outage:2": duplicate directive outage`},
+	}
+	for _, c := range cases {
+		_, err := ParseStoreInjections(c.in)
+		if err == nil {
+			t.Fatalf("ParseStoreInjections(%q) accepted", c.in)
+		}
+		if err.Error() != c.want {
+			t.Fatalf("ParseStoreInjections(%q) error:\n got %q\nwant %q", c.in, err.Error(), c.want)
+		}
+	}
+}

@@ -198,7 +198,15 @@ func (t *StoreTransport) fetchLaneLocked(lane string) (map[int]eval.MatrixCell, 
 		if err != nil {
 			return nil, -1, fmt.Errorf("dispatch: store segment %s: %w", key, err)
 		}
-		for idx, cell := range done {
+		// Fold in grid order so a divergence between segments always
+		// reports the same (lowest) cell.
+		idxs := make([]int, 0, len(done))
+		for idx := range done {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			cell := done[idx]
 			if prev, dup := recs[idx]; dup {
 				if !reflect.DeepEqual(prev, cell) {
 					return nil, -1, fmt.Errorf("dispatch: store lane %s cell %d differs between segments — replicas from diverging runs?", lane, idx)
@@ -224,6 +232,7 @@ func (t *StoreTransport) laneLocked(lane string) (*storeLane, error) {
 		return nil, err
 	}
 	l := &storeLane{seen: make(map[int]bool, len(recs)), nextSeg: maxSeg + 1}
+	//advlint:ordered-ok map-to-set fold keyed by grid index; order-free
 	for idx := range recs {
 		l.seen[idx] = true
 	}

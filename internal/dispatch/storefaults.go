@@ -159,28 +159,39 @@ type StoreInjection struct {
 }
 
 // ParseStoreInjections parses the -injectstore grammar: comma-separated
-// fault[:N] directives, e.g. "outage:3,torn:1,dup".
+// fault[:N] directives, e.g. "outage:3,torn:1,dup". An empty (or
+// all-whitespace) string means no injections; anything else must parse
+// exactly — empty directives between commas, a repeated fault, and
+// non-digit count tokens are errors, not silently skipped.
 func ParseStoreInjections(s string) ([]StoreInjection, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	seen := make(map[string]bool)
 	var out []StoreInjection
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
-			continue
+			return nil, fmt.Errorf("dispatch: bad -injectstore %q: empty directive (stray comma)", s)
 		}
 		fault, nStr, hasN := strings.Cut(part, ":")
-		inj := StoreInjection{Fault: fault, N: 1}
-		if hasN {
-			n, err := strconv.Atoi(nStr)
-			if err != nil || n < 0 {
-				return nil, fmt.Errorf("dispatch: bad -injectstore %q: count %q", part, nStr)
-			}
-			inj.N = n
-		}
 		switch fault {
 		case "outage", "torn", "dup":
 		default:
 			return nil, fmt.Errorf("dispatch: bad -injectstore %q: unknown fault %q (want outage|torn|dup)", part, fault)
 		}
+		inj := StoreInjection{Fault: fault, N: 1}
+		if hasN {
+			n, err := parseDigits(nStr)
+			if err != nil {
+				return nil, fmt.Errorf("dispatch: bad -injectstore %q: count %q (want digits)", part, nStr)
+			}
+			inj.N = n
+		}
+		if seen[fault] {
+			return nil, fmt.Errorf("dispatch: bad -injectstore %q: duplicate directive %s", s, fault)
+		}
+		seen[fault] = true
 		out = append(out, inj)
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -122,10 +123,12 @@ func (t *ExecTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observe
 	}
 	defer os.Remove(specFile.Name())
 	if _, err := specFile.Write(body); err != nil {
-		specFile.Close()
+		specFile.Close() //advlint:close-ok error-path cleanup; the write failure is returned
 		return fmt.Errorf("dispatch: spec file: %w", err)
 	}
-	specFile.Close()
+	if err := specFile.Close(); err != nil {
+		return fmt.Errorf("dispatch: spec file: %w", err)
+	}
 
 	bin := t.Binary
 	if bin == "" {
@@ -154,12 +157,19 @@ func (t *ExecTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observe
 		// child is writing; the final load decides) and folds in replica
 		// records the local file lacks.
 		done := laneProgress(lane, meta, t.Checkpoints)
-		for idx, cell := range done {
+		// Emit fresh cells in grid order: the synthesized event stream
+		// is part of the run's observable output.
+		idxs := make([]int, 0, len(done))
+		for idx := range done {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
 			if seen[idx] {
 				continue
 			}
 			seen[idx] = true
-			c := cell
+			c := done[idx]
 			emit(obs, meta.cellDone(idx, &c))
 		}
 	}
@@ -296,7 +306,10 @@ func (t *HTTPTransport) Run(ctx context.Context, spec exp.Spec, obs eval.Observe
 			return err
 		}
 	}
-	return lane.sync()
+	if err := lane.sync(); err != nil {
+		return err
+	}
+	return lane.close()
 }
 
 // laneWriter appends validated checkpoint records to a shard lane file,
@@ -323,6 +336,7 @@ func openLane(path string, meta gridMeta, resume bool) (*laneWriter, error) {
 				return nil, fmt.Errorf("dispatch: repair lane tail: %w", err)
 			}
 		}
+		//advlint:ordered-ok map-to-set fold keyed by grid index; order-free
 		for idx := range done {
 			seen[idx] = true
 		}
@@ -355,4 +369,19 @@ func (w *laneWriter) append(index int, raw json.RawMessage) (bool, error) {
 }
 
 func (w *laneWriter) sync() error { return w.f.Sync() }
-func (w *laneWriter) close()      { w.f.Close() }
+
+// close releases the lane file, surfacing the close error once: on
+// buffered filesystems this is where a failed lane write finally
+// reports. Idempotent so success paths can check it while a defer
+// still covers the error paths.
+func (w *laneWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	if err != nil {
+		return fmt.Errorf("dispatch: close lane: %w", err)
+	}
+	return nil
+}

@@ -114,7 +114,7 @@ func (s *ModelStore) save(key string, params []*nn.Param) error {
 		return fmt.Errorf("eval: artifact %s: %w", key, err)
 	}
 	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
+		tmp.Close() //advlint:close-ok error-path cleanup; the write failure is returned
 		os.Remove(tmp.Name())
 		return fmt.Errorf("eval: artifact %s: %w", key, err)
 	}

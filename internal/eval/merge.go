@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 	"reflect"
+	"sort"
 )
 
 // MergeSweeps joins shard checkpoint files into the combined grid report.
@@ -46,7 +47,15 @@ func MergeSweeps(ids []CellID, preset string, duration, dt float64, paths []stri
 		if len(done) == 0 {
 			return MatrixReport{}, fmt.Errorf("merge: %s holds no complete cells", path)
 		}
-		for idx, c := range done {
+		// Fold in grid order so a divergence between shard files always
+		// reports the same (lowest) cell.
+		idxs := make([]int, 0, len(done))
+		for idx := range done {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			c := done[idx]
 			prev, dup := cells[idx]
 			if !dup {
 				cells[idx] = c

@@ -342,7 +342,18 @@ func (e *Env) RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepReport, er
 
 	obs := cfg.Matrix.Observer
 	emit(obs, Event{Kind: EventRunStart, Total: len(specs)})
+	// finish closes the checkpoint file (set below when a JSONL lane is
+	// open) before emitting run-done: a failed close is a failed write
+	// of the lane's tail, and must fail the run, not vanish.
+	var ckpt *os.File
 	finish := func(err error) error {
+		if ckpt != nil {
+			cerr := ckpt.Close()
+			ckpt = nil
+			if cerr != nil && err == nil {
+				err = fmt.Errorf("sweep: close checkpoint: %w", cerr)
+			}
+		}
 		emit(obs, Event{Kind: EventRunDone, Total: len(specs), Err: err})
 		return err
 	}
@@ -371,7 +382,7 @@ func (e *Env) RunSweepCtx(ctx context.Context, cfg SweepConfig) (SweepReport, er
 		if err != nil {
 			return SweepReport{}, finish(fmt.Errorf("sweep: open checkpoint: %w", err))
 		}
-		defer f.Close()
+		ckpt = f // closed by finish on every exit path
 		w := bufio.NewWriter(f)
 		sink = &jsonlWriter{
 			preset: e.Preset.Name, duration: cfg.Matrix.Duration, dt: cfg.Matrix.DT,

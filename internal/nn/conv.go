@@ -201,7 +201,7 @@ func (c *Conv2D) accumWeightGrad(gm *tensor.Tensor, nm *convScratchNames) {
 		grow := gmd[r*c.OutC : r*c.OutC+c.OutC]
 		prow := ptd[r*l : r*l+l]
 		for oc, gv := range grow {
-			if gv == 0 {
+			if gv == 0 { //advlint:floatcmp-ok exact-zero skip: adds exactly 0 either way
 				continue
 			}
 			wrow := dwd[oc*l : oc*l+l]

@@ -134,7 +134,7 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		xrow := xd[r*l.In : (r+1)*l.In]
 		for o, g := range grow {
 			bg[o] += g
-			if g == 0 {
+			if g == 0 { //advlint:floatcmp-ok exact-zero skip: adds exactly 0 either way
 				continue
 			}
 			wgrow := wg[o*l.In : (o+1)*l.In]

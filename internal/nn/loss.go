@@ -98,7 +98,7 @@ func WeightedBCEWithLogits(logits, target, weight *tensor.Tensor) (float64, *ten
 	var loss float64
 	for i, z := range ld {
 		w := float64(wd[i])
-		if w == 0 {
+		if w == 0 { //advlint:floatcmp-ok exact-zero weight masks the sample out
 			continue
 		}
 		zf := float64(z)

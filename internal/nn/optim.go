@@ -34,10 +34,10 @@ func NewSGD(lr, momentum float32) *SGD {
 func (s *SGD) Step(params []*Param) {
 	for _, p := range params {
 		p.MarkMutated()
-		if s.WeightDecay != 0 {
+		if s.WeightDecay != 0 { //advlint:floatcmp-ok config sentinel: exact 0 disables decay
 			p.Value.ScaleInPlace(1 - s.LR*s.WeightDecay)
 		}
-		if s.Momentum == 0 {
+		if s.Momentum == 0 { //advlint:floatcmp-ok config sentinel: exact 0 selects plain SGD
 			p.Value.AddScaledInPlace(p.Grad, -s.LR)
 			continue
 		}
@@ -94,7 +94,7 @@ func (a *Adam) Step(params []*Param) {
 		gd := p.Grad.Data()
 		pd := p.Value.Data()
 		for i, g := range gd {
-			if a.WDecay != 0 {
+			if a.WDecay != 0 { //advlint:floatcmp-ok config sentinel: exact 0 disables decay
 				g += a.WDecay * pd[i]
 			}
 			md[i] = a.Beta1*md[i] + (1-a.Beta1)*g

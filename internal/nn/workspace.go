@@ -102,6 +102,7 @@ func (w *Workspace) TensorLike(owner any, name string, like *tensor.Tensor) *ten
 // Bytes reports the total scratch footprint in bytes (for diagnostics).
 func (w *Workspace) Bytes() int {
 	n := 0
+	//advlint:ordered-ok integer sum over scratch tensors; order-free
 	for _, t := range w.m {
 		n += 4 * t.Len()
 	}

@@ -75,7 +75,7 @@ func (c *DiskCache) Put(key string, val []byte) {
 		return
 	}
 	if _, err := tmp.Write(val); err != nil {
-		tmp.Close()
+		tmp.Close() //advlint:close-ok error-path cleanup; the write failure is returned
 		os.Remove(tmp.Name())
 		c.log("serve: disk cache write %s: %v", key[:12], err)
 		return

@@ -153,7 +153,7 @@ func (s *DirStore) Put(key string, data []byte) error {
 		return fmt.Errorf("serve: store put: %w", err)
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
+		tmp.Close() //advlint:close-ok error-path cleanup; the write failure is returned
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: store put: %w", err)
 	}

@@ -31,6 +31,8 @@ func batchGeomCheck(x *Tensor, g ConvGeom, op string) int {
 // receptive-field window of output position (oy,ox) of sample n. Every
 // destination element is written (padding taps as 0), so dst's previous
 // contents don't matter.
+//
+//advlint:noalloc
 func Im2RowInto(dst, x *Tensor, g ConvGeom) {
 	n := batchGeomCheck(x, g, "Im2RowInto")
 	outH, outW := g.OutH(), g.OutW()
@@ -118,6 +120,8 @@ func im2rowSample(pd, xd []float32, g ConvGeom, outH, outW, l int) {
 // input gradient dst ([N,C,H,W], or a single [C,H,W] sample treated as
 // N=1), accumulating where windows overlap. It is the exact adjoint of
 // Im2RowInto, which is what backpropagation requires.
+//
+//advlint:noalloc
 func Row2ImInto(dst, rows *Tensor, g ConvGeom) {
 	n := batchGeomCheck(dst, g, "Row2ImInto")
 	outH, outW := g.OutH(), g.OutW()

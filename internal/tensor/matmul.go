@@ -222,7 +222,7 @@ func matMulCols(c, a, b []float32, m, k, n, workers int) {
 			clear(ci)
 			for l := 0; l < k; l++ {
 				av := a[i*k+l]
-				if av == 0 {
+				if av == 0 { //advlint:floatcmp-ok exact-zero skip in the legacy reference kernel
 					continue
 				}
 				bl := b[l*n+lo : l*n+hi]
@@ -243,7 +243,7 @@ func matMulRows(c, a, b []float32, lo, hi, k, n int) {
 		clear(ci)
 		for l := 0; l < k; l++ {
 			av := a[i*k+l]
-			if av == 0 {
+			if av == 0 { //advlint:floatcmp-ok exact-zero skip in the legacy reference kernel
 				continue
 			}
 			bl := b[l*n : (l+1)*n]
@@ -286,6 +286,8 @@ func Transpose2D(t *Tensor) *Tensor {
 
 // Transpose2DInto writes the transpose of the 2-D tensor t into dst, which
 // must have the swapped shape, reusing dst's storage.
+//
+//advlint:noalloc
 func Transpose2DInto(dst, t *Tensor) {
 	if t.Rank() != 2 || dst.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: Transpose2DInto needs rank 2, got %v <- %v", dst.shape, t.shape))

@@ -58,6 +58,8 @@ func KMajorKernel() string { return kmajorKernelName }
 // MatMulKMajorInto computes dst = A·B for A (m×k) and B (k×n) given in
 // row-major (i.e. k-major for this product) layout, reusing dst's storage.
 // dst must be m×n.
+//
+//advlint:noalloc
 func MatMulKMajorInto(dst, a, bK *Tensor) {
 	if a.Rank() != 2 || bK.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulKMajorInto needs rank-2 operands, got %v x %v", a.shape, bK.shape))

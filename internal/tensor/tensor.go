@@ -156,7 +156,7 @@ func (t *Tensor) Zero() {
 
 // Fill sets all elements to v in place.
 func (t *Tensor) Fill(v float32) {
-	if v == 0 {
+	if v == 0 { //advlint:floatcmp-ok exact-zero fast path: clear writes the same bits
 		clear(t.data)
 		return
 	}
